@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: prefetch degree (requests per trigger, Sec. II-C3). The
+ * paper evaluates distance explicitly (Fig. 17) and keeps degree 1 as
+ * the default; this harness shows why — extra requests per trigger
+ * mostly turn into early evictions at a 16 KB prefetch cache.
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtp;
+    auto opts = bench::parseArgs(argc, argv);
+    bench::banner("MT-HWP prefetch degree ablation",
+                  "Sec. II-C3 / VIII default-degree choice", opts);
+    bench::Runner runner(opts);
+    auto names = bench::selectBenchmarks(opts, bench::sweepSubset());
+
+    std::printf("\n%-9s |", "bench");
+    const unsigned degrees[] = {1, 2, 3, 4};
+    for (unsigned d : degrees)
+        std::printf("   deg%u  early%u", d, d);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> per_degree(4);
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        const RunResult &base = runner.baseline(w);
+        std::printf("%-9s |", name.c_str());
+        for (unsigned i = 0; i < 4; ++i) {
+            SimConfig cfg = bench::baseConfig(opts);
+            cfg.hwPref = HwPrefKind::MTHWP;
+            cfg.prefDegree = degrees[i];
+            const RunResult &r = runner.run(cfg, w.kernel);
+            double spd = static_cast<double>(base.cycles) / r.cycles;
+            per_degree[i].push_back(spd);
+            std::printf(" %6.2f  %6.2f", spd, r.earlyRatio());
+        }
+        std::printf("\n");
+    }
+    std::printf("%-9s |", "geomean");
+    for (unsigned i = 0; i < 4; ++i)
+        std::printf(" %6.2f        ", bench::geomean(per_degree[i]));
+    std::printf("\n");
+    return 0;
+}

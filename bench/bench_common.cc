@@ -1,0 +1,121 @@
+#include "bench/bench_common.hh"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace mtp {
+namespace bench {
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--scale" && i + 1 < argc) {
+            opts.scaleDiv = static_cast<unsigned>(
+                std::stoul(argv[++i]));
+            if (opts.scaleDiv == 0)
+                MTP_FATAL("--scale must be >= 1");
+            // Keep the throttle period proportional to run length.
+            opts.throttlePeriod =
+                std::max<Cycle>(1000, 40000 / opts.scaleDiv);
+        } else if (arg == "--bench" && i + 1 < argc) {
+            std::stringstream ss(argv[++i]);
+            std::string name;
+            while (std::getline(ss, name, ','))
+                opts.benchmarks.push_back(name);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--scale N] [--bench a,b,...] "
+                        "[key=value ...]\n",
+                        argv[0]);
+            std::exit(0);
+        } else if (arg.find('=') != std::string::npos) {
+            opts.overrides.push_back(arg);
+        } else {
+            MTP_FATAL("unknown argument '", arg, "'");
+        }
+    }
+    return opts;
+}
+
+SimConfig
+baseConfig(const Options &opts)
+{
+    SimConfig cfg;
+    cfg.throttlePeriod = opts.throttlePeriod;
+    cfg.applyOverrides(opts.overrides);
+    return cfg;
+}
+
+std::vector<std::string>
+selectBenchmarks(const Options &opts,
+                 const std::vector<std::string> &fallback)
+{
+    if (opts.benchmarks.empty())
+        return fallback;
+    for (const auto &n : opts.benchmarks) {
+        if (!Suite::has(n))
+            MTP_FATAL("unknown benchmark '", n, "'");
+    }
+    return opts.benchmarks;
+}
+
+const std::vector<std::string> &
+sweepSubset()
+{
+    static const std::vector<std::string> subset = {
+        "monte", "scalar", "stream", // stride-type
+        "backprop",                  // mp-type
+        "cfd", "sepia",              // uncoal-type
+    };
+    return subset;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void
+banner(const std::string &title, const std::string &reference,
+       const Options &opts)
+{
+    std::printf("# %s\n", title.c_str());
+    std::printf("# reproduces: %s\n", reference.c_str());
+    std::printf("# grid scale: 1/%u of the paper's geometry; "
+                "throttle period %llu cycles\n",
+                opts.scaleDiv,
+                static_cast<unsigned long long>(opts.throttlePeriod));
+}
+
+const RunResult &
+Runner::run(const SimConfig &cfg, const KernelDesc &kernel)
+{
+    std::ostringstream key;
+    cfg.dump(key);
+    key << '|' << kernel.name << '|' << kernel.numBlocks << '|'
+        << kernel.warpsPerBlock << '|' << kernel.warpInstsPerWarp();
+    for (auto &e : cache_) {
+        if (e.key == key.str())
+            return e.result;
+    }
+    cache_.push_back({key.str(), simulate(cfg, kernel)});
+    return cache_.back().result;
+}
+
+const RunResult &
+Runner::baseline(const Workload &w)
+{
+    return run(baseConfig(opts_), w.kernel);
+}
+
+} // namespace bench
+} // namespace mtp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table reproduction harnesses.
+ *
+ * Every `bench_*` binary regenerates one table or figure of the paper's
+ * evaluation. By default the launch grids run at 1/8 of the paper's
+ * geometry (occupancy and per-warp behaviour unchanged; see DESIGN.md)
+ * and the throttle period is scaled with them. Pass `--scale N` to
+ * change the divisor (1 = the paper's full grids) and `key=value`
+ * pairs to override any SimConfig field.
+ */
+
+#ifndef MTP_BENCH_BENCH_COMMON_HH
+#define MTP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "mtprefetch/mtprefetch.hh"
+
+namespace mtp {
+namespace bench {
+
+/** Command-line options common to all harnesses. */
+struct Options
+{
+    unsigned scaleDiv = 8;      //!< grid divisor vs. the paper
+    Cycle throttlePeriod = 5000; //!< scaled from the paper's 100K
+    std::vector<std::string> overrides; //!< SimConfig key=value pairs
+    std::vector<std::string> benchmarks; //!< subset filter (--bench a,b)
+};
+
+/** Parse argv; recognises --scale, --bench and key=value overrides. */
+Options parseArgs(int argc, char **argv);
+
+/** Table II baseline with the scaled throttle period + overrides. */
+SimConfig baseConfig(const Options &opts);
+
+/** Names to run: the subset filter or @p fallback. */
+std::vector<std::string> selectBenchmarks(
+    const Options &opts, const std::vector<std::string> &fallback);
+
+/** A compact subset covering all three classes, for large sweeps. */
+const std::vector<std::string> &sweepSubset();
+
+/** Geometric mean of @p values (1.0 when empty). */
+double geomean(const std::vector<double> &values);
+
+/** Print the harness banner: title + paper reference + setup. */
+void banner(const std::string &title, const std::string &reference,
+            const Options &opts);
+
+/**
+ * Simulation cache keyed by (config fingerprint, kernel name): within
+ * one harness the same baseline run backs several columns.
+ */
+class Runner
+{
+  public:
+    explicit Runner(const Options &opts) : opts_(opts) {}
+
+    /** Run (or reuse) a simulation of @p kernel under @p cfg. */
+    const RunResult &run(const SimConfig &cfg, const KernelDesc &kernel);
+
+    /** Baseline (no prefetching) run of a workload's kernel. */
+    const RunResult &baseline(const Workload &w);
+
+    const Options &options() const { return opts_; }
+
+  private:
+    Options opts_;
+    struct Entry
+    {
+        std::string key;
+        RunResult result;
+    };
+    // deque: growth never invalidates the references handed out.
+    std::deque<Entry> cache_;
+};
+
+} // namespace bench
+} // namespace mtp
+
+#endif // MTP_BENCH_BENCH_COMMON_HH

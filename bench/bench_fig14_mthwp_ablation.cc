@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 14: MT-HWP table ablation — GHB (reference), PWS only,
+ * PWS+GS, PWS+IP and the full PWS+GS+IP — plus the GS table's
+ * PWS-access savings the paper quotes (97% on stride-type).
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtp;
+    auto opts = bench::parseArgs(argc, argv);
+    bench::banner("MT-HWP table ablation vs. GHB",
+                  "Fig. 14 (GHB / PWS / PWS+GS / PWS+IP / PWS+GS+IP)",
+                  opts);
+    bench::Runner runner(opts);
+
+    struct Column
+    {
+        const char *name;
+        bool ghb, pws, gs, ip;
+    };
+    const Column cols[] = {
+        {"ghb", true, false, false, false},
+        {"pws", false, true, false, false},
+        {"pws+gs", false, true, true, false},
+        {"pws+ip", false, true, false, true},
+        {"pws+gs+ip", false, true, true, true},
+    };
+
+    std::printf("\n%-9s %-7s |", "bench", "type");
+    for (const auto &c : cols)
+        std::printf(" %9s", c.name);
+    std::printf("\n");
+
+    std::vector<double> g[5];
+    double saved_sum = 0.0, probes_sum = 0.0;
+    auto names = bench::selectBenchmarks(
+        opts, Suite::memoryIntensiveNames());
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        const RunResult &base = runner.baseline(w);
+        std::printf("%-9s %-7s |", name.c_str(),
+                    toString(w.info.type).c_str());
+        for (unsigned i = 0; i < 5; ++i) {
+            SimConfig cfg = bench::baseConfig(opts);
+            if (cols[i].ghb) {
+                cfg.hwPref = HwPrefKind::GHB;
+            } else {
+                cfg.hwPref = HwPrefKind::MTHWP;
+                cfg.mthwpPws = cols[i].pws;
+                cfg.mthwpGs = cols[i].gs;
+                cfg.mthwpIp = cols[i].ip;
+            }
+            const RunResult &r = runner.run(cfg, w.kernel);
+            double spd = static_cast<double>(base.cycles) / r.cycles;
+            g[i].push_back(spd);
+            std::printf(" %9.2f", spd);
+            if (i == 4 && w.info.type == WorkloadType::Stride) {
+                saved_sum += r.stats.sumMatching(
+                    "core", ".hwPref.pwsAccessesSaved");
+                probes_sum += r.stats.sumMatching(
+                    "core", ".hwPref.pwsAccesses");
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("%-17s |", "geomean");
+    for (unsigned i = 0; i < 5; ++i)
+        std::printf(" %9.2f", bench::geomean(g[i]));
+    std::printf("\n");
+
+    if (saved_sum + probes_sum > 0) {
+        std::printf("\nGS table PWS-access savings on stride-type: "
+                    "%.0f%% (paper: 97%%)\n",
+                    100.0 * saved_sum / (saved_sum + probes_sum));
+    }
+    std::printf("\n# paper: PWS carries the stride-type gains; IP adds\n"
+                "# backprop/bfs/cfd/linear; GS adds little speed but\n"
+                "# saves almost all PWS probes once strides promote.\n");
+    return 0;
+}

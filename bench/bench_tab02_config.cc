@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table II: the baseline processor configuration. Prints the simulated
+ * machine's parameters next to the published ones.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtp;
+    auto opts = bench::parseArgs(argc, argv);
+    bench::banner("Baseline processor configuration",
+                  "Table II (MICRO-43 2010, Lee et al.)", opts);
+    SimConfig cfg = bench::baseConfig(opts);
+    cfg.validate();
+
+    std::printf("\n%-28s %-22s %s\n", "parameter", "paper", "simulator");
+    auto row = [](const char *name, const char *paper,
+                  const std::string &ours) {
+        std::printf("%-28s %-22s %s\n", name, paper, ours.c_str());
+    };
+    row("cores", "14, 8-wide SIMD",
+        std::to_string(cfg.numCores) + ", " +
+            std::to_string(cfg.simdWidth) + "-wide SIMD");
+    row("fetch", "1 warp-inst/cycle",
+        std::to_string(cfg.fetchWidth) + " warp-inst/cycle");
+    row("decode", "5 cycles, stall on branch",
+        std::to_string(cfg.decodeCycles) + " cycles, stall on branch");
+    row("IMUL / FDIV / other",
+        "16 / 32 / 4 cycles per warp",
+        std::to_string(cfg.latencyImul) + " / " +
+            std::to_string(cfg.latencyFdiv) + " / " +
+            std::to_string(cfg.latencyOther) + " cycles per warp");
+    row("prefetch cache", "16 KB, 8-way",
+        std::to_string(cfg.prefCacheBytes / 1024) + " KB, " +
+            std::to_string(cfg.prefCacheAssoc) + "-way");
+    row("DRAM", "2 KB page, 16 banks, 8 ch",
+        std::to_string(cfg.dramRowBytes / 1024) + " KB page, " +
+            std::to_string(cfg.dramBanks * cfg.dramChannels) +
+            " banks, " + std::to_string(cfg.dramChannels) + " ch");
+    row("DRAM timing", "tCL=11 tRCD=11 tRP=13",
+        "tCL=" + std::to_string(cfg.dramTCL) +
+            " tRCD=" + std::to_string(cfg.dramTRCD) +
+            " tRP=" + std::to_string(cfg.dramTRP));
+    row("bandwidth", "57.6 GB/s",
+        std::to_string(cfg.dramBusBytesPerCycle * cfg.dramChannels *
+                       900 / 1000) +
+            "." +
+            std::to_string(cfg.dramBusBytesPerCycle * cfg.dramChannels *
+                           900 % 1000 / 100) +
+            " GB/s");
+    row("interconnect", "20 cycles, 1 req / 2 cores / cycle",
+        std::to_string(cfg.icntLatency) + " cycles, 1 req / " +
+            std::to_string(cfg.icntCoresPerPort) + " cores / cycle");
+    row("priority", "demand > prefetch",
+        cfg.demandPriority ? "demand > prefetch" : "none");
+
+    std::printf("\nfull configuration dump:\n");
+    cfg.dump(std::cout);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table III: characteristics of the 14 memory-intensive benchmarks —
+ * launch geometry, measured base CPI and perfect-memory CPI next to
+ * the published values, and the memory-intensity criterion (base CPI
+ * at least 50% above perfect-memory CPI).
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtp;
+    auto opts = bench::parseArgs(argc, argv);
+    bench::banner("Benchmark characteristics",
+                  "Table III (base CPI / PMEM CPI per benchmark)", opts);
+    bench::Runner runner(opts);
+
+    std::printf("\n%-9s %-7s %-7s %8s %7s %6s | %9s %9s | %9s %9s | %s\n",
+                "bench", "suite", "type", "warps", "blocks", "blk/c",
+                "baseCPI", "paper", "pmemCPI", "paper", "mem-int");
+    auto names = bench::selectBenchmarks(
+        opts, Suite::memoryIntensiveNames());
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        const RunResult &base = runner.baseline(w);
+        SimConfig pmem = bench::baseConfig(opts);
+        pmem.perfectMemory = true;
+        const RunResult &perfect = runner.run(pmem, w.kernel);
+        bool intense = base.cpi > 1.5 * perfect.cpi;
+        std::printf(
+            "%-9s %-7s %-7s %8llu %7llu %6u | %9.2f %9.2f | %9.2f %9.2f"
+            " | %s\n",
+            name.c_str(), w.info.suite.c_str(),
+            toString(w.info.type).c_str(),
+            static_cast<unsigned long long>(w.info.paperWarps),
+            static_cast<unsigned long long>(w.info.paperBlocks),
+            w.kernel.maxBlocksPerCore, base.cpi, w.info.paperBaseCpi,
+            perfect.cpi, w.info.paperPmemCpi, intense ? "yes" : "NO");
+    }
+    std::printf("\n# delinquent loads (stride/IP, from Table III):\n");
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, 64);
+        std::printf("#   %-9s %u/%u\n", name.c_str(),
+                    w.info.paperDelinquentStride,
+                    w.info.paperDelinquentIp);
+    }
+    return 0;
+}

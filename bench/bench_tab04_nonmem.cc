@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table IV: the 12 non-memory-intensive benchmarks. Their CPIs barely
+ * move under a hardware prefetcher or a perfect memory — the property
+ * the table documents.
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtp;
+    auto opts = bench::parseArgs(argc, argv);
+    bench::banner("Non-memory-intensive benchmark CPIs",
+                  "Table IV (base / PMEM / HWP CPI)", opts);
+    bench::Runner runner(opts);
+
+    std::printf("\n%-12s | %8s %8s | %8s %8s | %8s %8s\n", "bench",
+                "baseCPI", "paper", "pmemCPI", "paper", "hwpCPI",
+                "paper");
+    auto names = bench::selectBenchmarks(opts, Suite::computeNames());
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        const RunResult &base = runner.baseline(w);
+        SimConfig pmem = bench::baseConfig(opts);
+        pmem.perfectMemory = true;
+        const RunResult &perfect = runner.run(pmem, w.kernel);
+        SimConfig hwp = bench::baseConfig(opts);
+        hwp.hwPref = HwPrefKind::MTHWP;
+        const RunResult &pref = runner.run(hwp, w.kernel);
+        std::printf("%-12s | %8.2f %8.2f | %8.2f %8.2f | %8.2f %8.2f\n",
+                    name.c_str(), base.cpi, w.info.paperBaseCpi,
+                    perfect.cpi, w.info.paperPmemCpi, pref.cpi,
+                    w.info.paperHwpCpi);
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table VI: the hardware cost of MT-HWP — bits per entry and total
+ * storage for the evaluated 32-entry PWS / 8-entry GS / 8-entry IP
+ * configuration, compared against the baseline prefetchers' tables.
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtp;
+    auto opts = bench::parseArgs(argc, argv);
+    bench::banner("MT-HWP hardware cost", "Table VI", opts);
+    SimConfig cfg = bench::baseConfig(opts);
+
+    std::printf("\n%-6s %-55s %10s %8s %12s\n", "table", "fields",
+                "bits/entry", "entries", "total bits");
+    std::printf("%-6s %-55s %10u %8u %12llu\n", "PWS",
+                "PC (4B), wid (1B), train (1b), last (4B), stride (20b)",
+                MtHwpPrefetcher::pwsEntryBits, cfg.pwsEntries,
+                static_cast<unsigned long long>(
+                    MtHwpPrefetcher::pwsEntryBits) *
+                    cfg.pwsEntries);
+    std::printf("%-6s %-55s %10u %8u %12llu\n", "GS",
+                "PC (4B), stride (20b)", MtHwpPrefetcher::gsEntryBits,
+                cfg.gsEntries,
+                static_cast<unsigned long long>(
+                    MtHwpPrefetcher::gsEntryBits) *
+                    cfg.gsEntries);
+    std::printf("%-6s %-55s %10u %8u %12llu\n", "IP",
+                "PC (4B), stride (20b), train (1b), 2-wid (2B), "
+                "2-addr (8B)",
+                MtHwpPrefetcher::ipEntryBits, cfg.ipEntries,
+                static_cast<unsigned long long>(
+                    MtHwpPrefetcher::ipEntryBits) *
+                    cfg.ipEntries);
+    std::printf("%-6s %-55s %10s %8s %12llu\n", "total", "", "", "",
+                static_cast<unsigned long long>(
+                    MtHwpPrefetcher::costBits(cfg)));
+    std::printf("\nMT-HWP total storage: %llu bytes (paper: 557 bytes)\n",
+                static_cast<unsigned long long>(
+                    MtHwpPrefetcher::costBytes(cfg)));
+
+    std::printf("\nbaseline table capacities (Table V):\n");
+    std::printf("  Stride RPT: %u entries\n", cfg.strideRptEntries);
+    std::printf("  StridePC:   %u entries\n", cfg.stridePcEntries);
+    std::printf("  Stream:     %u entries\n", cfg.streamEntries);
+    std::printf("  GHB:        %u-entry GHB + %u-entry index table\n",
+                cfg.ghbEntries, cfg.ghbIndexEntries);
+    std::printf("\n# MT-HWP uses 1-2 orders of magnitude fewer entries\n"
+                "# than the baselines it outperforms.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Compare every hardware prefetcher the library implements on one
+ * benchmark: the four CPU baselines (naive and warp-id-trained), the
+ * paper's MT-HWP, and MT-HWP with adaptive throttling.
+ *
+ * Usage: prefetcher_comparison [benchmark] [key=value ...]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mtprefetch/mtprefetch.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "mersenne";
+    if (!mtp::Suite::has(bench)) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+        return 1;
+    }
+    mtp::SimConfig base_cfg;
+    base_cfg.throttlePeriod = 5000; // scaled grids, scaled period
+    for (int i = 2; i < argc; ++i)
+        base_cfg.applyOverride(argv[i]);
+
+    mtp::Workload w = mtp::Suite::get(bench, /*scaleDiv=*/8);
+    mtp::RunResult base = mtp::simulate(base_cfg, w.kernel);
+    std::printf("%s baseline: %llu cycles (CPI %.2f)\n\n",
+                bench.c_str(),
+                static_cast<unsigned long long>(base.cycles), base.cpi);
+    std::printf("%-22s %8s %9s %9s %7s %7s\n", "prefetcher", "speedup",
+                "accuracy", "coverage", "late", "early");
+
+    struct Row
+    {
+        const char *label;
+        mtp::HwPrefKind kind;
+        bool warpTraining;
+        bool throttle;
+    };
+    const Row rows[] = {
+        {"stride RPT (naive)", mtp::HwPrefKind::StrideRPT, false, false},
+        {"stride RPT (warp)", mtp::HwPrefKind::StrideRPT, true, false},
+        {"stridePC (naive)", mtp::HwPrefKind::StridePC, false, false},
+        {"stridePC (warp)", mtp::HwPrefKind::StridePC, true, false},
+        {"stream (naive)", mtp::HwPrefKind::Stream, false, false},
+        {"stream (warp)", mtp::HwPrefKind::Stream, true, false},
+        {"GHB (naive)", mtp::HwPrefKind::GHB, false, false},
+        {"GHB (warp)", mtp::HwPrefKind::GHB, true, false},
+        {"MT-HWP", mtp::HwPrefKind::MTHWP, true, false},
+        {"MT-HWP + throttling", mtp::HwPrefKind::MTHWP, true, true},
+    };
+    for (const auto &row : rows) {
+        mtp::SimConfig cfg = base_cfg;
+        cfg.hwPref = row.kind;
+        cfg.hwPrefWarpTraining = row.warpTraining;
+        cfg.throttleEnable = row.throttle;
+        mtp::RunResult r = mtp::simulate(cfg, w.kernel);
+        std::printf("%-22s %8.3f %8.1f%% %8.1f%% %6.2f %6.2f\n",
+                    row.label,
+                    static_cast<double>(base.cycles) / r.cycles,
+                    100.0 * r.accuracy(), 100.0 * r.prefCoverage(),
+                    r.lateRatio(), r.earlyRatio());
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: run one benchmark on the baseline GPU, then with the
+ * paper's MT-HWP hardware prefetcher (with adaptive throttling), and
+ * print the headline numbers.
+ *
+ * Usage: quickstart [benchmark] [key=value ...]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mtprefetch/mtprefetch.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "backprop";
+    if (!mtp::Suite::has(bench)) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+        return 1;
+    }
+
+    mtp::SimConfig cfg; // Table II baseline
+    std::vector<std::string> overrides;
+    for (int i = 2; i < argc; ++i)
+        overrides.emplace_back(argv[i]);
+    cfg.applyOverrides(overrides);
+
+    mtp::Workload w = mtp::Suite::get(bench, /*scaleDiv=*/8);
+    std::printf("benchmark %s (%s, %s-type): %llu blocks x %u warps\n",
+                w.info.name.c_str(), w.info.suite.c_str(),
+                mtp::toString(w.info.type).c_str(),
+                static_cast<unsigned long long>(w.kernel.numBlocks),
+                w.kernel.warpsPerBlock);
+
+    // 1. Baseline: no prefetching.
+    mtp::RunResult base = mtp::simulate(cfg, w.kernel);
+    std::printf("baseline : %10llu cycles  CPI %6.2f  avg mem lat %7.1f\n",
+                static_cast<unsigned long long>(base.cycles), base.cpi,
+                base.avgDemandLatency);
+
+    // 2. MT-HWP with adaptive throttling.
+    mtp::SimConfig pref_cfg = cfg;
+    pref_cfg.hwPref = mtp::HwPrefKind::MTHWP;
+    pref_cfg.throttleEnable = true;
+    mtp::RunResult pref = mtp::simulate(pref_cfg, w.kernel);
+    std::printf("mthwp+t  : %10llu cycles  CPI %6.2f  avg mem lat %7.1f\n",
+                static_cast<unsigned long long>(pref.cycles), pref.cpi,
+                pref.avgDemandLatency);
+    std::printf("           accuracy %.2f  coverage %.2f  early %.2f\n",
+                pref.accuracy(), pref.prefCoverage(), pref.earlyRatio());
+    std::printf("speedup  : %.3f\n",
+                static_cast<double>(base.cycles) / pref.cycles);
+
+    // 3. Perfect memory, for reference.
+    mtp::SimConfig pmem_cfg = cfg;
+    pmem_cfg.perfectMemory = true;
+    mtp::RunResult pmem = mtp::simulate(pmem_cfg, w.kernel);
+    std::printf("pmem     : %10llu cycles  CPI %6.2f\n",
+                static_cast<unsigned long long>(pmem.cycles), pmem.cpi);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the simulator.
+ */
+
+#ifndef MTP_COMMON_BITUTILS_HH
+#define MTP_COMMON_BITUTILS_HH
+
+#include <cstdint>
+
+namespace mtp {
+
+/** @return true iff @p v is a (non-zero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** @return ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Align @p v down to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Align @p v up to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [first, first+count) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned first, unsigned count)
+{
+    return (v >> first) & ((count >= 64) ? ~0ULL : ((1ULL << count) - 1));
+}
+
+/**
+ * Stateless 64-bit mixing function (splitmix64 finalizer). Used to derive
+ * pseudo-random but deterministic address scatter in synthetic workloads.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace mtp
+
+#endif // MTP_COMMON_BITUTILS_HH

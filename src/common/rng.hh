@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xorshift128+). The
+ * simulator never uses std::rand or hardware entropy so that identical
+ * configurations always produce identical cycle counts.
+ */
+
+#ifndef MTP_COMMON_RNG_HH
+#define MTP_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/bitutils.hh"
+
+namespace mtp {
+
+/** Small, fast, seedable PRNG with a 128-bit state. */
+class Rng
+{
+  public:
+    /** Seed from a single 64-bit value via splitmix64 expansion. */
+    explicit Rng(std::uint64_t seed = 1)
+        : s0_(mix64(seed)), s1_(mix64(seed + 0x9e3779b97f4a7c15ULL))
+    {
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next 64 uniformly distributed bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace mtp
+
+#endif // MTP_COMMON_RNG_HH

@@ -1,0 +1,150 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace mtp {
+
+void
+StatSet::add(const std::string &name, double value, const std::string &desc)
+{
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        entries_[it->second].value = value;
+        if (!desc.empty())
+            entries_[it->second].desc = desc;
+        return;
+    }
+    index_.emplace(name, entries_.size());
+    entries_.push_back({name, value, desc});
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return index_.find(name) != index_.end();
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = index_.find(name);
+    MTP_ASSERT(it != index_.end(), "unknown statistic '", name, "'");
+    return entries_[it->second].value;
+}
+
+double
+StatSet::getOr(const std::string &name, double fallback) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? fallback : entries_[it->second].value;
+}
+
+double
+StatSet::sumMatching(const std::string &prefix,
+                     const std::string &suffix) const
+{
+    double total = 0.0;
+    for (const auto &e : entries_) {
+        if (e.name.size() < prefix.size() + suffix.size())
+            continue;
+        if (e.name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (e.name.compare(e.name.size() - suffix.size(), suffix.size(),
+                           suffix) != 0)
+            continue;
+        total += e.value;
+    }
+    return total;
+}
+
+void
+StatSet::merge(const StatSet &other, const std::string &prefix)
+{
+    for (const auto &e : other.entries_)
+        add(prefix + e.name, e.value, e.desc);
+}
+
+void
+StatSet::dumpText(std::ostream &os) const
+{
+    std::size_t width = 0;
+    for (const auto &e : entries_)
+        width = std::max(width, e.name.size());
+    for (const auto &e : entries_) {
+        os << std::left << std::setw(static_cast<int>(width) + 2) << e.name
+           << std::setprecision(12) << e.value;
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << '\n';
+    }
+}
+
+void
+StatSet::dumpCsv(std::ostream &os) const
+{
+    os << "name,value\n";
+    for (const auto &e : entries_)
+        os << e.name << ',' << std::setprecision(12) << e.value << '\n';
+}
+
+Histogram::Histogram(double lo, double hi, unsigned nbuckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / nbuckets), bucketCounts_(nbuckets)
+{
+    MTP_ASSERT(hi > lo && nbuckets > 0,
+               "invalid histogram bounds [", lo, ", ", hi, ") x ", nbuckets);
+}
+
+void
+Histogram::sample(double v, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    count_ += count;
+    sum_ += v * count;
+    if (v < lo_) {
+        underflow_ += count;
+    } else if (v >= hi_) {
+        overflow_ += count;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        idx = std::min(idx, bucketCounts_.size() - 1);
+        bucketCounts_[idx] += count;
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bucketCounts_.begin(), bucketCounts_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+std::uint64_t
+Histogram::bucketCount(unsigned i) const
+{
+    MTP_ASSERT(i < bucketCounts_.size(), "bucket ", i, " out of range");
+    return bucketCounts_[i];
+}
+
+void
+Histogram::exportTo(StatSet &set, const std::string &name,
+                    const std::string &desc) const
+{
+    set.add(name + ".count", static_cast<double>(count_), desc);
+    set.add(name + ".mean", mean(), desc);
+    set.add(name + ".min", minValue(), desc);
+    set.add(name + ".max", maxValue(), desc);
+}
+
+} // namespace mtp

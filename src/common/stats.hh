@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Lightweight statistics package. Simulation modules keep raw counters as
+ * plain members for speed and export them into a StatSet snapshot at the
+ * end of a run (or at period boundaries). StatSet preserves insertion
+ * order, supports hierarchical prefixes, and dumps as aligned text or CSV.
+ */
+
+#ifndef MTP_COMMON_STATS_HH
+#define MTP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mtp {
+
+/** An ordered collection of named scalar statistics. */
+class StatSet
+{
+  public:
+    /** One named scalar with an optional description. */
+    struct Entry
+    {
+        std::string name;
+        double value;
+        std::string desc;
+    };
+
+    /**
+     * Add (or overwrite) a scalar statistic.
+     * @param name dotted hierarchical name, e.g. "core0.mrq.merges"
+     * @param value the sample value
+     * @param desc one-line human-readable description
+     */
+    void add(const std::string &name, double value,
+             const std::string &desc = "");
+
+    /** @return true iff a statistic with this name exists. */
+    bool has(const std::string &name) const;
+
+    /**
+     * Look up a statistic by exact name.
+     * @return its value; panics if absent (use has() to probe).
+     */
+    double get(const std::string &name) const;
+
+    /** Look up with a fallback instead of panicking. */
+    double getOr(const std::string &name, double fallback) const;
+
+    /**
+     * Sum of all statistics whose name matches "<prefix><anything><suffix>".
+     * Useful for aggregating per-core stats, e.g.
+     * sumMatching("core", ".pref.issued").
+     */
+    double sumMatching(const std::string &prefix,
+                       const std::string &suffix) const;
+
+    /** Copy all entries of @p other, prepending @p prefix to each name. */
+    void merge(const StatSet &other, const std::string &prefix);
+
+    /** All entries in insertion order. */
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /** Number of entries. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Dump as aligned "name value # desc" lines. */
+    void dumpText(std::ostream &os) const;
+
+    /** Dump as "name,value" CSV with a header row. */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    std::vector<Entry> entries_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+/**
+ * Fixed-width linear histogram with under/overflow buckets; tracks
+ * count, sum, min and max of all samples.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower bound of the first regular bucket
+     * @param hi upper bound of the last regular bucket
+     * @param nbuckets number of regular buckets between lo and hi
+     */
+    Histogram(double lo, double hi, unsigned nbuckets);
+
+    /** Record @p count occurrences of value @p v. */
+    void sample(double v, std::uint64_t count = 1);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minValue() const { return count_ ? min_ : 0.0; }
+    double maxValue() const { return count_ ? max_ : 0.0; }
+
+    /** Number of regular buckets. */
+    unsigned buckets() const
+    {
+        return static_cast<unsigned>(bucketCounts_.size());
+    }
+
+    /** Occurrences in regular bucket @p i. */
+    std::uint64_t bucketCount(unsigned i) const;
+
+    /** Samples below the first / at-or-above the last bucket bound. */
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /**
+     * Export summary stats (count/mean/min/max) into @p set under
+     * "<name>.count" etc.
+     */
+    void exportTo(StatSet &set, const std::string &name,
+                  const std::string &desc = "") const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> bucketCounts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace mtp
+
+#endif // MTP_COMMON_STATS_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fundamental scalar types and architectural constants shared by every
+ * module of the mtprefetch simulator.
+ */
+
+#ifndef MTP_COMMON_TYPES_HH
+#define MTP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mtp {
+
+/** A byte address in the simulated global memory space. */
+using Addr = std::uint64_t;
+
+/** A point in simulated time, measured in core clock cycles (900 MHz). */
+using Cycle = std::uint64_t;
+
+/** Signed address delta (stride). */
+using Stride = std::int64_t;
+
+/** Identifier of a SIMT core (streaming multiprocessor). */
+using CoreId = std::uint32_t;
+
+/** Hardware warp identifier, unique within a core. */
+using WarpId = std::uint32_t;
+
+/** Global (grid-wide) warp identifier, unique within a kernel launch. */
+using GlobalWarpId = std::uint64_t;
+
+/** Thread-block identifier within a kernel launch. */
+using BlockId = std::uint64_t;
+
+/** Program counter of a static (kernel) instruction. */
+using Pc = std::uint64_t;
+
+/** Number of threads executed in lockstep by one warp. */
+inline constexpr unsigned warpSize = 32;
+
+/** Cache/memory transaction granularity in bytes. */
+inline constexpr unsigned blockBytes = 64;
+
+/** log2(blockBytes); kept in sync with blockBytes. */
+inline constexpr unsigned blockOffsetBits = 6;
+static_assert((1u << blockOffsetBits) == blockBytes);
+
+/** Sentinel for "no cycle" / "not scheduled". */
+inline constexpr Cycle invalidCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no address". */
+inline constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Align an address down to its cache-block base. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(blockBytes - 1);
+}
+
+/** Cache-block index of an address (address divided by block size). */
+constexpr Addr
+blockIndex(Addr addr)
+{
+    return addr >> blockOffsetBits;
+}
+
+} // namespace mtp
+
+#endif // MTP_COMMON_TYPES_HH

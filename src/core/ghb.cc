@@ -1,0 +1,124 @@
+#include "core/ghb.hh"
+
+namespace mtp {
+
+GhbPrefetcher::GhbPrefetcher(const SimConfig &cfg)
+    : HwPrefetcher(cfg),
+      feedbackEnabled_(cfg.ghbFeedback),
+      czoneBits_(cfg.ghbCzoneBits),
+      fifo_(cfg.ghbEntries),
+      index_(cfg.ghbIndexEntries)
+{
+}
+
+std::uint64_t
+GhbPrefetcher::czoneOf(Addr addr) const
+{
+    std::uint64_t zone = addr >> czoneShift;
+    return zone & ((1ULL << czoneBits_) - 1);
+}
+
+void
+GhbPrefetcher::observe(const PrefObservation &obs, std::vector<Addr> &out)
+{
+    ++counters_.observations;
+    PcWid key{czoneOf(obs.leadAddr), warpTraining_ ? obs.hwWid : 0u};
+
+    // Link the new entry into its zone's chain and advance the FIFO.
+    std::uint64_t *last = index_.find(key);
+    GhbEntry &slot = fifo_[pos_ % fifo_.size()];
+    slot.addr = obs.leadAddr;
+    slot.hasPrev = last && (pos_ - *last) < fifo_.size();
+    slot.prevPos = slot.hasPrev ? *last : 0;
+    index_.findOrInsert(key) = pos_;
+    std::uint64_t head = pos_++;
+
+    // Collect the zone's recent addresses, newest first.
+    Addr hist[historyLen];
+    unsigned n = 0;
+    std::uint64_t p = head;
+    while (n < historyLen) {
+        const GhbEntry &e = fifo_[p % fifo_.size()];
+        hist[n++] = e.addr;
+        if (!e.hasPrev || (head - e.prevPos) >= fifo_.size())
+            break;
+        p = e.prevPos;
+    }
+    if (n < 3)
+        return;
+
+    // Delta stream, newest first: d[i] = hist[i] - hist[i+1].
+    Stride d[historyLen - 1];
+    for (unsigned i = 0; i + 1 < n; ++i)
+        d[i] = static_cast<Stride>(hist[i]) -
+               static_cast<Stride>(hist[i + 1]);
+    unsigned nd = n - 1;
+
+    // Delta correlation: find an earlier occurrence of the most recent
+    // delta pair (d[1], d[0]) and replay the deltas that followed it.
+    if (nd >= 2) {
+        for (unsigned k = 2; k + 1 < nd; ++k) {
+            if (d[k] == d[0] && d[k + 1] == d[1]) {
+                ++deltaCorrelations_;
+                ++counters_.trainedHits;
+                Addr target = obs.leadAddr;
+                unsigned emitted = 0;
+                for (int j = static_cast<int>(k) - 1;
+                     j >= 0 && emitted < degree_; --j, ++emitted) {
+                    target = static_cast<Addr>(
+                        static_cast<Stride>(target) + d[j]);
+                    out.push_back(blockAlign(target));
+                    ++counters_.generated;
+                }
+                return;
+            }
+        }
+    }
+
+    // Constant-stride fallback.
+    if (nd >= 2 && d[0] == d[1] && d[0] != 0) {
+        ++strideFallbacks_;
+        ++counters_.trainedHits;
+        for (unsigned k = 0; k < degree_; ++k) {
+            Stride ahead = d[0] * static_cast<Stride>(distance_ + k);
+            out.push_back(blockAlign(static_cast<Addr>(
+                static_cast<Stride>(obs.leadAddr) + ahead)));
+            ++counters_.generated;
+        }
+    }
+}
+
+void
+GhbPrefetcher::feedback(double accuracy, double lateFraction)
+{
+    (void)lateFraction;
+    if (!feedbackEnabled_)
+        return;
+    if (accuracy >= accHigh && degree_ < maxDegree)
+        ++degree_;
+    else if (accuracy < accLow && degree_ > minDegree)
+        --degree_;
+}
+
+std::string
+GhbPrefetcher::name() const
+{
+    std::string n = warpTraining_ ? "ghb.warp" : "ghb";
+    return feedbackEnabled_ ? n + "+f" : n;
+}
+
+void
+GhbPrefetcher::exportStats(StatSet &set, const std::string &prefix) const
+{
+    HwPrefetcher::exportStats(set, prefix);
+    set.add(prefix + ".deltaCorrelations",
+            static_cast<double>(deltaCorrelations_),
+            "predictions from delta correlation");
+    set.add(prefix + ".strideFallbacks",
+            static_cast<double>(strideFallbacks_),
+            "predictions from the constant-stride fallback");
+    set.add(prefix + ".degree", static_cast<double>(degree_),
+            "final prefetch degree (GHB+F adjusts it)");
+}
+
+} // namespace mtp

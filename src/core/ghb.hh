@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Global History Buffer prefetcher, AC/DC organization (Table V, after
+ * Nesbit & Smith): an n-entry FIFO of recent access addresses with
+ * per-CZone link pointers, plus an index table mapping CZone tags to
+ * the newest entry of each zone's chain. Prediction is by delta
+ * correlation with a constant-stride fallback.
+ *
+ * The optional feedback mode (GHB+F, Fig. 15) adjusts the prefetch
+ * degree from the measured prefetch accuracy, after Srinath et al.
+ */
+
+#ifndef MTP_CORE_GHB_HH
+#define MTP_CORE_GHB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lru_table.hh"
+#include "core/prefetcher.hh"
+
+namespace mtp {
+
+/** GHB AC/DC prefetcher with optional accuracy feedback. */
+class GhbPrefetcher : public HwPrefetcher
+{
+  public:
+    explicit GhbPrefetcher(const SimConfig &cfg);
+
+    void observe(const PrefObservation &obs,
+                 std::vector<Addr> &out) override;
+
+    /** GHB+F: grow the degree when accuracy is high, shrink when low. */
+    void feedback(double accuracy, double lateFraction) override;
+
+    std::string name() const override;
+
+    void exportStats(StatSet &set, const std::string &prefix) const override;
+
+    /** History addresses examined per prediction. */
+    static constexpr unsigned historyLen = 8;
+    /** Feedback degree bounds (Srinath-style aggressiveness levels). */
+    static constexpr unsigned minDegree = 1;
+    static constexpr unsigned maxDegree = 4;
+    /** Feedback accuracy thresholds. */
+    static constexpr double accHigh = 0.5;
+    static constexpr double accLow = 0.2;
+
+  private:
+    /** One FIFO slot. */
+    struct GhbEntry
+    {
+        Addr addr = 0;
+        std::uint64_t prevPos = 0; //!< absolute position of chain predecessor
+        bool hasPrev = false;
+    };
+
+    /** CZone tag of an address (czoneBits wide, 64 KB zones). */
+    std::uint64_t czoneOf(Addr addr) const;
+
+    bool feedbackEnabled_;
+    unsigned czoneBits_;
+    std::vector<GhbEntry> fifo_;
+    std::uint64_t pos_ = 0; //!< absolute position of the next slot
+    LruTable<PcWid, std::uint64_t, PcWidHash> index_;
+    std::uint64_t deltaCorrelations_ = 0;
+    std::uint64_t strideFallbacks_ = 0;
+
+    /** Address-space shift defining a CZone (64 KB). */
+    static constexpr unsigned czoneShift = 16;
+};
+
+} // namespace mtp
+
+#endif // MTP_CORE_GHB_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Fixed-capacity fully-associative table with true-LRU replacement —
+ * the storage idiom of every prefetcher table in the paper (PWS, GS,
+ * IP, RPT, stream and GHB index tables all "use a LRU replacement
+ * policy", Sec. III-B1).
+ */
+
+#ifndef MTP_CORE_LRU_TABLE_HH
+#define MTP_CORE_LRU_TABLE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace mtp {
+
+/**
+ * LRU-replaced key/value table of fixed capacity.
+ *
+ * @tparam Key hashable lookup key (e.g. PC, (PC, warp id), region)
+ * @tparam Value entry payload
+ * @tparam Hash hash functor for Key
+ */
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruTable
+{
+  public:
+    explicit LruTable(unsigned capacity) : capacity_(capacity)
+    {
+        MTP_ASSERT(capacity_ > 0, "LruTable capacity must be > 0");
+    }
+
+    /**
+     * Look up @p key, making it most-recently-used on a hit.
+     * @return pointer to the value or nullptr. Invalidated by the next
+     *         findOrInsert()/erase().
+     */
+    Value *
+    find(const Key &key)
+    {
+        auto it = index_.find(key);
+        if (it == index_.end()) {
+            ++misses_;
+            return nullptr;
+        }
+        ++hits_;
+        order_.splice(order_.begin(), order_, it->second);
+        return &it->second->second;
+    }
+
+    /** Look up without touching LRU order or counters. */
+    const Value *
+    peek(const Key &key) const
+    {
+        auto it = index_.find(key);
+        return it == index_.end() ? nullptr : &it->second->second;
+    }
+
+    /**
+     * Look up @p key, inserting a default-constructed value (evicting
+     * the LRU entry at capacity) on miss.
+     * @param inserted set to true iff a new entry was created
+     */
+    Value &
+    findOrInsert(const Key &key, bool *inserted = nullptr)
+    {
+        if (Value *v = find(key)) {
+            if (inserted)
+                *inserted = false;
+            return *v;
+        }
+        if (order_.size() >= capacity_) {
+            index_.erase(order_.back().first);
+            order_.pop_back();
+            ++evictions_;
+        }
+        order_.emplace_front(key, Value{});
+        index_[key] = order_.begin();
+        if (inserted)
+            *inserted = true;
+        return order_.front().second;
+    }
+
+    /** Remove @p key if present. @return true if removed. */
+    bool
+    erase(const Key &key)
+    {
+        auto it = index_.find(key);
+        if (it == index_.end())
+            return false;
+        order_.erase(it->second);
+        index_.erase(it);
+        return true;
+    }
+
+    /** Visit every (key, value) pair, most-recent first. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &kv : order_)
+            fn(kv.first, kv.second);
+    }
+
+    std::size_t size() const { return order_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+    void
+    clear()
+    {
+        order_.clear();
+        index_.clear();
+    }
+
+  private:
+    using Entry = std::pair<Key, Value>;
+    using Order = std::list<Entry>;
+
+    unsigned capacity_;
+    Order order_; //!< front = MRU, back = LRU
+    std::unordered_map<Key, typename Order::iterator, Hash> index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+/** Composite (PC, warp id) key for per-warp-trained tables. */
+struct PcWid
+{
+    Pc pc;
+    std::uint64_t wid;
+
+    bool
+    operator==(const PcWid &o) const
+    {
+        return pc == o.pc && wid == o.wid;
+    }
+};
+
+/** Hash for PcWid. */
+struct PcWidHash
+{
+    std::size_t
+    operator()(const PcWid &k) const
+    {
+        return std::hash<std::uint64_t>()(k.pc * 0x9e3779b97f4a7c15ULL ^
+                                          k.wid);
+    }
+};
+
+} // namespace mtp
+
+#endif // MTP_CORE_LRU_TABLE_HH

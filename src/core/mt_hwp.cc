@@ -1,0 +1,183 @@
+#include "core/mt_hwp.hh"
+
+namespace mtp {
+
+MtHwpPrefetcher::MtHwpPrefetcher(const SimConfig &cfg)
+    : MtHwpPrefetcher(cfg, Tables{})
+{
+}
+
+MtHwpPrefetcher::MtHwpPrefetcher(const SimConfig &cfg, Tables tables)
+    : HwPrefetcher(cfg),
+      tables_(tables),
+      promoteCount_(cfg.gsPromoteCount),
+      ipTrainCount_(cfg.ipTrainCount),
+      ipDistanceWarps_(cfg.ipDistanceWarps),
+      pws_(cfg.pwsEntries),
+      gs_(cfg.gsEntries),
+      ip_(cfg.ipEntries)
+{
+    // MT-HWP is defined by per-warp training; the naive/enhanced split
+    // of Fig. 13 applies to the baseline prefetchers only.
+    warpTraining_ = true;
+}
+
+std::uint64_t
+MtHwpPrefetcher::costBits(const SimConfig &cfg)
+{
+    return static_cast<std::uint64_t>(cfg.pwsEntries) * pwsEntryBits +
+           static_cast<std::uint64_t>(cfg.gsEntries) * gsEntryBits +
+           static_cast<std::uint64_t>(cfg.ipEntries) * ipEntryBits;
+}
+
+std::uint64_t
+MtHwpPrefetcher::costBytes(const SimConfig &cfg)
+{
+    return (costBits(cfg) + 7) / 8;
+}
+
+bool
+MtHwpPrefetcher::ipTrained(Pc pc) const
+{
+    const IpEntry *e = ip_.peek(pc);
+    return e && e->conf >= ipTrainCount_ && e->stride != 0;
+}
+
+Stride
+MtHwpPrefetcher::gsStride(Pc pc) const
+{
+    const GsEntry *e = gs_.peek(pc);
+    return e ? e->stride : 0;
+}
+
+void
+MtHwpPrefetcher::trainIp(const PrefObservation &obs)
+{
+    IpEntry &entry = ip_.findOrInsert(obs.pc);
+    if (entry.lastWid != ~0ULL && obs.globalWid != entry.lastWid &&
+        entry.lastAddr != invalidAddr) {
+        auto dw = static_cast<Stride>(obs.globalWid) -
+                  static_cast<Stride>(entry.lastWid);
+        Stride da = static_cast<Stride>(obs.leadAddr) -
+                    static_cast<Stride>(entry.lastAddr);
+        if (dw != 0 && da % dw == 0) {
+            Stride cand = da / dw;
+            if (cand != 0 && cand == entry.stride) {
+                if (entry.conf < ipTrainCount_)
+                    ++entry.conf;
+            } else {
+                entry.stride = cand;
+                entry.conf = cand != 0 ? 1 : 0;
+            }
+        } else {
+            entry.conf = 0;
+        }
+    }
+    entry.lastWid = obs.globalWid;
+    entry.lastAddr = obs.leadAddr;
+}
+
+void
+MtHwpPrefetcher::maybePromote(Pc pc, Stride stride)
+{
+    if (!tables_.gs || stride == 0)
+        return;
+    if (gs_.peek(pc))
+        return;
+    unsigned agree = 0;
+    pws_.forEach([&](const PcWid &key, const StridePcPrefetcher::Entry &e) {
+        if (key.pc == pc && e.stride == stride &&
+            e.conf >= StridePcPrefetcher::confThreshold)
+            ++agree;
+    });
+    if (agree >= promoteCount_) {
+        gs_.findOrInsert(pc).stride = stride;
+        ++promotions_;
+    }
+}
+
+void
+MtHwpPrefetcher::observe(const PrefObservation &obs, std::vector<Addr> &out)
+{
+    ++counters_.observations;
+
+    // Cycle 0: GS and IP probed in parallel; GS has priority (promoted
+    // strides are trained longer and intra-warp strides dominate).
+    if (tables_.gs) {
+        if (GsEntry *g = gs_.find(obs.pc)) {
+            ++gsHits_;
+            ++counters_.trainedHits;
+            ++pwsAccessesSaved_;
+            emitStride(obs, g->stride, out);
+            return;
+        }
+    }
+
+    bool ip_hit = false;
+    if (tables_.ip) {
+        if (IpEntry *e = ip_.find(obs.pc)) {
+            if (e->conf >= ipTrainCount_ && e->stride != 0) {
+                ip_hit = true;
+                ++ipHits_;
+                ++counters_.trainedHits;
+                // Per-warp stride scaled to the IP target distance
+                // (roughly the corresponding warp of a later block).
+                emitStride(obs,
+                           e->stride *
+                               static_cast<Stride>(ipDistanceWarps_),
+                           out);
+            }
+        }
+        trainIp(obs);
+    }
+    if (ip_hit)
+        return;
+
+    // Cycle 1: PWS probe (train + possibly emit).
+    if (tables_.pws) {
+        ++pwsAccesses_;
+        PcWid key{obs.pc, obs.hwWid};
+        auto &entry = pws_.findOrInsert(key);
+        Stride stride = StridePcPrefetcher::train(entry, obs.leadAddr);
+        if (stride != 0) {
+            ++pwsHits_;
+            ++counters_.trainedHits;
+            emitStride(obs, stride, out);
+            maybePromote(obs.pc, stride);
+        }
+    }
+}
+
+std::string
+MtHwpPrefetcher::name() const
+{
+    std::string n = "mthwp:";
+    if (tables_.pws)
+        n += "pws";
+    if (tables_.gs)
+        n += "+gs";
+    if (tables_.ip)
+        n += "+ip";
+    return n;
+}
+
+void
+MtHwpPrefetcher::exportStats(StatSet &set, const std::string &prefix) const
+{
+    HwPrefetcher::exportStats(set, prefix);
+    set.add(prefix + ".gsHits", static_cast<double>(gsHits_),
+            "observations served by the GS table");
+    set.add(prefix + ".ipHits", static_cast<double>(ipHits_),
+            "observations served by the IP table");
+    set.add(prefix + ".pwsHits", static_cast<double>(pwsHits_),
+            "observations served by the PWS table");
+    set.add(prefix + ".promotions", static_cast<double>(promotions_),
+            "strides promoted from PWS to GS");
+    set.add(prefix + ".pwsAccesses", static_cast<double>(pwsAccesses_),
+            "PWS table probes");
+    set.add(prefix + ".pwsAccessesSaved",
+            static_cast<double>(pwsAccessesSaved_),
+            "PWS probes avoided by GS hits");
+}
+
+} // namespace mtp

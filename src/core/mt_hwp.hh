@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Many-Thread aware Hardware Prefetcher (MT-HWP, Sec. III-B, Fig. 6).
+ *
+ * Three tables:
+ *  - PWS (per-warp stride): a stride RPT indexed by (PC, warp id);
+ *  - GS (global stride): PC-indexed strides promoted from the PWS table
+ *    once `gsPromoteCount` warps agree on the same stride for a PC —
+ *    yet-to-be-trained warps then prefetch immediately and PWS accesses
+ *    (and their energy) are saved;
+ *  - IP (inter-thread prefetch): PC-indexed cross-warp strides; once
+ *    trained, each demand access also prefetches the corresponding
+ *    access of a warp `distance` warps ahead.
+ *
+ * Lookup priority is GS > IP > PWS (Fig. 6: GS and IP are probed in
+ * parallel, GS wins ties; PWS is probed only when both miss).
+ */
+
+#ifndef MTP_CORE_MT_HWP_HH
+#define MTP_CORE_MT_HWP_HH
+
+#include "core/lru_table.hh"
+#include "core/prefetcher.hh"
+#include "core/stride_pc.hh"
+
+namespace mtp {
+
+/** The paper's MT-HWP with per-table enables for the Fig. 14 ablation. */
+class MtHwpPrefetcher : public HwPrefetcher
+{
+  public:
+    /** Which tables are instantiated (ablation knobs). */
+    struct Tables
+    {
+        bool pws = true;
+        bool gs = true;
+        bool ip = true;
+    };
+
+    /** Global-stride table entry. */
+    struct GsEntry
+    {
+        Stride stride = 0;
+    };
+
+    /** Inter-thread prefetch table entry (Table VI: PC, stride, train
+     *  bit, two warp ids, two addresses). */
+    struct IpEntry
+    {
+        Stride stride = 0;       //!< address delta per +1 warp id
+        std::uint64_t lastWid = ~0ULL;
+        Addr lastAddr = invalidAddr;
+        unsigned conf = 0;
+    };
+
+    /** Full MT-HWP: all three tables. */
+    explicit MtHwpPrefetcher(const SimConfig &cfg);
+
+    /** Ablation constructor: instantiate only the selected tables. */
+    MtHwpPrefetcher(const SimConfig &cfg, Tables tables);
+
+    void observe(const PrefObservation &obs,
+                 std::vector<Addr> &out) override;
+
+    std::string name() const override;
+
+    void exportStats(StatSet &set, const std::string &prefix) const override;
+
+    // ---- Table VI hardware cost model --------------------------------
+
+    /** Bits per PWS entry: PC(4B) + wid(1B) + train(1b) + last(4B) +
+     *  stride(20b) = 93. */
+    static constexpr unsigned pwsEntryBits = 32 + 8 + 1 + 32 + 20;
+    /** Bits per GS entry: PC(4B) + stride(20b) = 52. */
+    static constexpr unsigned gsEntryBits = 32 + 20;
+    /** Bits per IP entry: PC(4B) + stride(20b) + train(1b) + 2 wid(2B) +
+     *  2 addr(8B) = 133. */
+    static constexpr unsigned ipEntryBits = 32 + 20 + 1 + 16 + 64;
+
+    /** Total storage in bits for a configuration. */
+    static std::uint64_t costBits(const SimConfig &cfg);
+    /** Total storage in bytes (rounded up). */
+    static std::uint64_t costBytes(const SimConfig &cfg);
+
+    // ---- introspection for tests and the ablation bench --------------
+
+    std::uint64_t gsHits() const { return gsHits_; }
+    std::uint64_t ipHits() const { return ipHits_; }
+    std::uint64_t pwsHits() const { return pwsHits_; }
+    std::uint64_t promotions() const { return promotions_; }
+    std::uint64_t pwsAccessesSaved() const { return pwsAccessesSaved_; }
+    std::uint64_t pwsAccesses() const { return pwsAccesses_; }
+
+    /** @return true iff the IP table holds a trained entry for @p pc. */
+    bool ipTrained(Pc pc) const;
+
+    /** @return the GS stride for @p pc, or 0 when absent. */
+    Stride gsStride(Pc pc) const;
+
+  private:
+    /** Train the IP entry for @p obs (called when GS missed). */
+    void trainIp(const PrefObservation &obs);
+
+    /** Promote @p pc's stride to the GS table if enough warps agree. */
+    void maybePromote(Pc pc, Stride stride);
+
+    Tables tables_;
+    unsigned promoteCount_;
+    unsigned ipTrainCount_;
+    unsigned ipDistanceWarps_;
+
+    LruTable<PcWid, StridePcPrefetcher::Entry, PcWidHash> pws_;
+    LruTable<Pc, GsEntry> gs_;
+    LruTable<Pc, IpEntry> ip_;
+
+    std::uint64_t gsHits_ = 0;
+    std::uint64_t ipHits_ = 0;
+    std::uint64_t pwsHits_ = 0;
+    std::uint64_t promotions_ = 0;
+    std::uint64_t pwsAccesses_ = 0;
+    std::uint64_t pwsAccessesSaved_ = 0;
+};
+
+} // namespace mtp
+
+#endif // MTP_CORE_MT_HWP_HH

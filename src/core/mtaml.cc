@@ -1,0 +1,54 @@
+#include "core/mtaml.hh"
+
+#include <limits>
+
+#include "common/log.hh"
+
+namespace mtp {
+
+double
+mtaml(const MtamlInputs &in)
+{
+    if (in.memInsts <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    double warps = in.activeWarps > 1.0 ? in.activeWarps - 1.0 : 0.0;
+    return in.compInsts / in.memInsts * warps;
+}
+
+double
+mtamlPref(const MtamlInputs &in)
+{
+    MTP_ASSERT(in.prefHitProb >= 0.0 && in.prefHitProb <= 1.0,
+               "prefetch hit probability must be in [0,1]");
+    double comp_new = in.compInsts + in.prefHitProb * in.memInsts;
+    double mem_new = (1.0 - in.prefHitProb) * in.memInsts;
+    if (mem_new <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    double warps = in.activeWarps > 1.0 ? in.activeWarps - 1.0 : 0.0;
+    return comp_new / mem_new * warps;
+}
+
+PrefEffect
+classify(const MtamlInputs &in, double avgLatency, double avgLatencyPref)
+{
+    double bar = mtaml(in);
+    double bar_pref = mtamlPref(in);
+    if (avgLatency < bar && avgLatencyPref < bar_pref)
+        return PrefEffect::NoEffect;
+    if (avgLatency > bar && avgLatencyPref < bar_pref)
+        return PrefEffect::Useful;
+    return PrefEffect::Mixed;
+}
+
+std::string
+toString(PrefEffect effect)
+{
+    switch (effect) {
+      case PrefEffect::NoEffect: return "no-effect";
+      case PrefEffect::Useful:   return "useful";
+      case PrefEffect::Mixed:    return "useful-or-harmful";
+    }
+    MTP_PANIC("bad PrefEffect ", static_cast<int>(effect));
+}
+
+} // namespace mtp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MTAML — the Minimum Tolerable Average Memory Latency analytical model
+ * of Sec. IV (Eq. 1-4) and the useful / no-effect / possibly-harmful
+ * classification of Fig. 7.
+ */
+
+#ifndef MTP_CORE_MTAML_HH
+#define MTP_CORE_MTAML_HH
+
+#include <string>
+
+namespace mtp {
+
+/** Inputs of the MTAML model for one kernel on one core. */
+struct MtamlInputs
+{
+    double compInsts;   //!< non-memory warp-instructions
+    double memInsts;    //!< demand memory warp-instructions
+    double activeWarps; //!< warps concurrently resident on a core
+    double prefHitProb = 0.0; //!< probability a demand hits the pref. cache
+};
+
+/** Overall effect of prefetching predicted by the model (Sec. IV-A). */
+enum class PrefEffect
+{
+    NoEffect, //!< multithreading already hides all latency (case 1)
+    Useful,   //!< prefetching lifts the app over the tolerance bar (case 2)
+    Mixed,    //!< latency tolerated in neither case; may help or harm
+};
+
+/**
+ * Eq. 1: MTAML = (#comp / #mem) * (#warps - 1). The minimum average
+ * memory latency per request that causes no stalls.
+ */
+double mtaml(const MtamlInputs &in);
+
+/**
+ * Eq. 2-4: MTAML under prefetching. Prefetch-cache hits move work from
+ * the memory column to the compute column:
+ *   comp_new = comp + P(hit) * mem,  mem_new = (1 - P(hit)) * mem.
+ */
+double mtamlPref(const MtamlInputs &in);
+
+/**
+ * Classify the effect of prefetching given measured average latencies
+ * without (@p avgLatency) and with (@p avgLatencyPref) prefetching.
+ */
+PrefEffect classify(const MtamlInputs &in, double avgLatency,
+                    double avgLatencyPref);
+
+/** Human-readable name of a PrefEffect. */
+std::string toString(PrefEffect effect);
+
+} // namespace mtp
+
+#endif // MTP_CORE_MTAML_HH

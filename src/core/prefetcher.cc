@@ -1,0 +1,71 @@
+#include "core/prefetcher.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "core/ghb.hh"
+#include "core/mt_hwp.hh"
+#include "core/stream_prefetcher.hh"
+#include "core/stride_pc.hh"
+#include "core/stride_rpt.hh"
+
+namespace mtp {
+
+void
+HwPrefetcher::emitStride(const PrefObservation &obs, Stride stride,
+                         std::vector<Addr> &out)
+{
+    if (stride == 0)
+        return;
+    for (const MemTxn &txn : *obs.txns) {
+        for (unsigned k = 0; k < degree_; ++k) {
+            Stride ahead = stride * static_cast<Stride>(distance_ + k);
+            Addr target = blockAlign(static_cast<Addr>(
+                static_cast<Stride>(txn.addr) + ahead));
+            // Sub-block strides can map several transactions onto the
+            // same target block; suppress duplicates within this burst.
+            if (std::find(out.begin(), out.end(), target) != out.end())
+                continue;
+            out.push_back(target);
+            ++counters_.generated;
+        }
+    }
+}
+
+void
+HwPrefetcher::exportStats(StatSet &set, const std::string &prefix) const
+{
+    set.add(prefix + ".observations",
+            static_cast<double>(counters_.observations),
+            "demand loads observed");
+    set.add(prefix + ".trainedHits",
+            static_cast<double>(counters_.trainedHits),
+            "observations hitting a trained entry");
+    set.add(prefix + ".generated",
+            static_cast<double>(counters_.generated),
+            "prefetch addresses emitted");
+}
+
+std::unique_ptr<HwPrefetcher>
+makeHwPrefetcher(const SimConfig &cfg)
+{
+    switch (cfg.hwPref) {
+      case HwPrefKind::None:
+        return nullptr;
+      case HwPrefKind::StrideRPT:
+        return std::make_unique<StrideRptPrefetcher>(cfg);
+      case HwPrefKind::StridePC:
+        return std::make_unique<StridePcPrefetcher>(cfg);
+      case HwPrefKind::Stream:
+        return std::make_unique<StreamPrefetcher>(cfg);
+      case HwPrefKind::GHB:
+        return std::make_unique<GhbPrefetcher>(cfg);
+      case HwPrefKind::MTHWP:
+        return std::make_unique<MtHwpPrefetcher>(
+            cfg, MtHwpPrefetcher::Tables{cfg.mthwpPws, cfg.mthwpGs,
+                                         cfg.mthwpIp});
+    }
+    MTP_PANIC("bad HwPrefKind ", static_cast<int>(cfg.hwPref));
+}
+
+} // namespace mtp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Hardware prefetcher interface. A per-core prefetcher observes demand
+ * loads (one observation per warp memory-instruction execution, carrying
+ * the lead lane address plus all coalesced block transactions) and emits
+ * prefetch candidate block addresses. The core pushes survivors of the
+ * throttle filter into the MRQ as ReqType::HwPrefetch.
+ */
+
+#ifndef MTP_CORE_PREFETCHER_HH
+#define MTP_CORE_PREFETCHER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "trace/coalescer.hh"
+
+namespace mtp {
+
+/**
+ * One demand-load observation. The prefetcher trains on the lead (lane
+ * 0) byte address — one representative per execution, which is what
+ * makes per-warp training meaningful (Fig. 5 shows one address per
+ * (PC, warp) access) — and replicates any trained stride over all
+ * coalesced transactions so uncoalesced accesses get full coverage.
+ */
+struct PrefObservation
+{
+    Pc pc;                 //!< static PC of the load
+    std::uint32_t hwWid;   //!< hardware warp slot within the core
+    std::uint64_t globalWid; //!< grid-wide warp id (IP stride arithmetic)
+    Addr leadAddr;         //!< lane-0 byte address
+    const std::vector<MemTxn> *txns; //!< transactions of this execution
+};
+
+/** Abstract per-core hardware prefetcher. */
+class HwPrefetcher
+{
+  public:
+    /** Common counters kept by every implementation. */
+    struct Counters
+    {
+        std::uint64_t observations = 0;
+        std::uint64_t trainedHits = 0; //!< observations hitting a trained entry
+        std::uint64_t generated = 0;   //!< prefetch addresses emitted
+    };
+
+    explicit HwPrefetcher(const SimConfig &cfg)
+        : distance_(cfg.prefDistance), degree_(cfg.prefDegree),
+          warpTraining_(cfg.hwPrefWarpTraining)
+    {
+    }
+
+    virtual ~HwPrefetcher() = default;
+
+    /**
+     * Observe a demand load and append prefetch candidates (block-
+     * aligned addresses) to @p out. @p out is not cleared.
+     */
+    virtual void observe(const PrefObservation &obs,
+                         std::vector<Addr> &out) = 0;
+
+    /**
+     * Periodic feedback hook (GHB+F and similar): called once per
+     * feedback period with the prefetch accuracy (useful/fills) and the
+     * late fraction (demand-merged/fills) of the elapsed period.
+     */
+    virtual void feedback(double accuracy, double lateFraction)
+    {
+        (void)accuracy;
+        (void)lateFraction;
+    }
+
+    /** Short identifier, e.g. "stride_pc". */
+    virtual std::string name() const = 0;
+
+    /** Export implementation counters under "<prefix>.". */
+    virtual void exportStats(StatSet &set, const std::string &prefix) const;
+
+    const Counters &counters() const { return counters_; }
+
+    unsigned distance() const { return distance_; }
+    unsigned degree() const { return degree_; }
+
+  protected:
+    /**
+     * Emit `degree` prefetches per transaction of @p obs, each advanced
+     * by @p stride x (distance + k). Zero strides emit nothing.
+     */
+    void emitStride(const PrefObservation &obs, Stride stride,
+                    std::vector<Addr> &out);
+
+    unsigned distance_;
+    unsigned degree_;
+    bool warpTraining_;
+    Counters counters_;
+};
+
+/**
+ * Instantiate the configured prefetcher for one core.
+ * @return nullptr for HwPrefKind::None.
+ */
+std::unique_ptr<HwPrefetcher> makeHwPrefetcher(const SimConfig &cfg);
+
+} // namespace mtp
+
+#endif // MTP_CORE_PREFETCHER_HH

@@ -1,0 +1,100 @@
+#include "core/stream_prefetcher.hh"
+
+#include <cstdlib>
+
+namespace mtp {
+
+StreamPrefetcher::StreamPrefetcher(const SimConfig &cfg)
+    : HwPrefetcher(cfg), table_(cfg.streamEntries)
+{
+}
+
+void
+StreamPrefetcher::observe(const PrefObservation &obs, std::vector<Addr> &out)
+{
+    ++counters_.observations;
+    std::uint64_t block = blockIndex(obs.leadAddr);
+
+    // The stream may have crossed into a neighbouring zone since its
+    // last access; probe the current zone first, then both neighbours.
+    Entry *entry = nullptr;
+    PcWid found_key{0, 0};
+    for (int dz = 0; dz <= 2 && !entry; ++dz) {
+        std::uint64_t probe_block =
+            block + (dz == 1 ? (1ULL << zoneShift)
+                             : dz == 2 ? -(1ULL << zoneShift) : 0);
+        PcWid k = key(probe_block, obs.hwWid);
+        if (Entry *e = table_.find(k)) {
+            entry = e;
+            found_key = k;
+        }
+    }
+
+    if (!entry) {
+        Entry &fresh = table_.findOrInsert(key(block, obs.hwWid));
+        fresh.lastBlock = block;
+        fresh.dir = 0;
+        fresh.conf = 0;
+        return;
+    }
+
+    auto delta = static_cast<std::int64_t>(block) -
+                 static_cast<std::int64_t>(entry->lastBlock);
+    if (delta == 0)
+        return;
+    if (static_cast<std::uint64_t>(std::llabs(delta)) > window) {
+        // Too far: restart tracking at the new location.
+        entry->lastBlock = block;
+        entry->dir = 0;
+        entry->conf = 0;
+        return;
+    }
+
+    int dir = delta > 0 ? 1 : -1;
+    if (entry->dir == dir) {
+        ++entry->conf;
+    } else {
+        entry->dir = dir;
+        entry->conf = 1;
+    }
+    entry->lastBlock = block;
+
+    // Re-key the entry if the stream moved zones.
+    PcWid new_key = key(block, obs.hwWid);
+    if (!(new_key == found_key)) {
+        Entry moved = *entry;
+        table_.erase(found_key);
+        table_.findOrInsert(new_key) = moved;
+        entry = table_.find(new_key);
+    }
+
+    if (entry->conf >= confThreshold) {
+        ++counters_.trainedHits;
+        for (unsigned k = 0; k < degree_; ++k) {
+            std::int64_t ahead =
+                static_cast<std::int64_t>(distance_ + k) * entry->dir;
+            Addr target = static_cast<Addr>(
+                (static_cast<std::int64_t>(block) + ahead))
+                << blockOffsetBits;
+            out.push_back(target);
+            ++counters_.generated;
+        }
+    }
+}
+
+std::string
+StreamPrefetcher::name() const
+{
+    return warpTraining_ ? "stream.warp" : "stream";
+}
+
+void
+StreamPrefetcher::exportStats(StatSet &set, const std::string &prefix) const
+{
+    HwPrefetcher::exportStats(set, prefix);
+    set.add(prefix + ".tableEvictions",
+            static_cast<double>(table_.evictions()),
+            "stream entries evicted (LRU)");
+}
+
+} // namespace mtp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Stream prefetcher (Table V "Stream", after the Power5 prefetcher):
+ * monitors cache-block streams within small memory zones, detects a
+ * constant access direction and, once confirmed, fetches ahead along
+ * the stream. Operates at block granularity (it has no PC), so
+ * uncoalesced access patterns defeat it — as the paper observes.
+ */
+
+#ifndef MTP_CORE_STREAM_PREFETCHER_HH
+#define MTP_CORE_STREAM_PREFETCHER_HH
+
+#include "core/lru_table.hh"
+#include "core/prefetcher.hh"
+
+namespace mtp {
+
+/** Direction-detecting stream prefetcher. */
+class StreamPrefetcher : public HwPrefetcher
+{
+  public:
+    /** One tracked stream. */
+    struct Entry
+    {
+        std::uint64_t lastBlock = ~0ULL; //!< last block index seen
+        int dir = 0;                     //!< +1 ascending, -1 descending
+        unsigned conf = 0;               //!< consecutive same-direction hits
+    };
+
+    explicit StreamPrefetcher(const SimConfig &cfg);
+
+    void observe(const PrefObservation &obs,
+                 std::vector<Addr> &out) override;
+
+    std::string name() const override;
+
+    void exportStats(StatSet &set, const std::string &prefix) const override;
+
+    /** Blocks per monitoring zone (zone = blockIndex >> zoneShift). */
+    static constexpr unsigned zoneShift = 4;
+    /** Maximum block delta still considered the same stream. */
+    static constexpr std::uint64_t window = 16;
+    /** Direction confirmations needed before prefetching. */
+    static constexpr unsigned confThreshold = 2;
+
+  private:
+    /** Zone key of block index @p block for warp @p wid. */
+    PcWid key(std::uint64_t block, std::uint32_t wid) const
+    {
+        return {block >> zoneShift, warpTraining_ ? wid : 0u};
+    }
+
+    LruTable<PcWid, Entry, PcWidHash> table_;
+};
+
+} // namespace mtp
+
+#endif // MTP_CORE_STREAM_PREFETCHER_HH

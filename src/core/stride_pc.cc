@@ -1,0 +1,64 @@
+#include "core/stride_pc.hh"
+
+namespace mtp {
+
+StridePcPrefetcher::StridePcPrefetcher(const SimConfig &cfg,
+                                       unsigned entries)
+    : HwPrefetcher(cfg),
+      table_(entries ? entries : cfg.stridePcEntries)
+{
+}
+
+Stride
+StridePcPrefetcher::train(Entry &entry, Addr addr)
+{
+    if (entry.lastAddr == invalidAddr) {
+        entry.lastAddr = addr;
+        return 0;
+    }
+    Stride delta = static_cast<Stride>(addr) -
+                   static_cast<Stride>(entry.lastAddr);
+    entry.lastAddr = addr;
+    if (delta == entry.stride && delta != 0) {
+        if (entry.conf < confMax)
+            ++entry.conf;
+    } else {
+        entry.stride = delta;
+        entry.conf = delta != 0 ? 1 : 0;
+    }
+    return entry.conf >= confThreshold ? entry.stride : 0;
+}
+
+void
+StridePcPrefetcher::observe(const PrefObservation &obs,
+                            std::vector<Addr> &out)
+{
+    ++counters_.observations;
+    // Naive indexing ignores the warp id, so interleaved warps train a
+    // single entry (Fig. 5 right); enhanced indexing keys on (PC, warp).
+    PcWid key{obs.pc, warpTraining_ ? obs.hwWid : 0u};
+    Entry &entry = table_.findOrInsert(key);
+    Stride stride = train(entry, obs.leadAddr);
+    if (stride != 0) {
+        ++counters_.trainedHits;
+        emitStride(obs, stride, out);
+    }
+}
+
+std::string
+StridePcPrefetcher::name() const
+{
+    return warpTraining_ ? "stride_pc.warp" : "stride_pc";
+}
+
+void
+StridePcPrefetcher::exportStats(StatSet &set,
+                                const std::string &prefix) const
+{
+    HwPrefetcher::exportStats(set, prefix);
+    set.add(prefix + ".tableEvictions",
+            static_cast<double>(table_.evictions()),
+            "RPT entries evicted (LRU)");
+}
+
+} // namespace mtp

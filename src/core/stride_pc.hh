@@ -1,0 +1,68 @@
+/**
+ * @file
+ * PC-indexed stride prefetcher (Table V "StridePC", after Chen & Baer
+ * and Fu et al.). With warp-id training enabled the table is indexed by
+ * (PC, warp id) — which is exactly the PWS (per-warp stride) table of
+ * MT-HWP; Sec. VIII-B notes "the enhanced version of StridePC is
+ * essentially the same as the PWS table only configuration".
+ */
+
+#ifndef MTP_CORE_STRIDE_PC_HH
+#define MTP_CORE_STRIDE_PC_HH
+
+#include "core/lru_table.hh"
+#include "core/prefetcher.hh"
+
+namespace mtp {
+
+/** Classic two-bit-confidence stride prefetcher, PC(-and-warp) indexed. */
+class StridePcPrefetcher : public HwPrefetcher
+{
+  public:
+    /** Reference-prediction-table entry. */
+    struct Entry
+    {
+        Addr lastAddr = invalidAddr;
+        Stride stride = 0;
+        unsigned conf = 0; //!< consecutive matching deltas (saturates)
+    };
+
+    /**
+     * @param cfg simulator configuration
+     * @param entries table capacity (defaults from cfg when 0)
+     */
+    explicit StridePcPrefetcher(const SimConfig &cfg, unsigned entries = 0);
+
+    void observe(const PrefObservation &obs,
+                 std::vector<Addr> &out) override;
+
+    std::string name() const override;
+
+    void exportStats(StatSet &set, const std::string &prefix) const override;
+
+    /** Confidence needed before prefetches are issued. */
+    static constexpr unsigned confThreshold = 2;
+    /** Confidence saturation value. */
+    static constexpr unsigned confMax = 3;
+
+    /**
+     * Train @p entry with a new lead address.
+     * @return the entry's stride if it is trained (conf >= threshold)
+     *         after the update, otherwise 0.
+     *
+     * Shared with MT-HWP's PWS table.
+     */
+    static Stride train(Entry &entry, Addr addr);
+
+    const LruTable<PcWid, Entry, PcWidHash> &table() const
+    {
+        return table_;
+    }
+
+  private:
+    LruTable<PcWid, Entry, PcWidHash> table_;
+};
+
+} // namespace mtp
+
+#endif // MTP_CORE_STRIDE_PC_HH

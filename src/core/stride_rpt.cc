@@ -1,0 +1,43 @@
+#include "core/stride_rpt.hh"
+
+namespace mtp {
+
+StrideRptPrefetcher::StrideRptPrefetcher(const SimConfig &cfg)
+    : HwPrefetcher(cfg),
+      regionBits_(cfg.strideRptRegionBits),
+      table_(cfg.strideRptEntries)
+{
+}
+
+void
+StrideRptPrefetcher::observe(const PrefObservation &obs,
+                             std::vector<Addr> &out)
+{
+    ++counters_.observations;
+    // The region plays the role of the PC in the PcWid key.
+    PcWid key{regionOf(obs.leadAddr), warpTraining_ ? obs.hwWid : 0u};
+    auto &entry = table_.findOrInsert(key);
+    Stride stride = StridePcPrefetcher::train(entry, obs.leadAddr);
+    if (stride != 0) {
+        ++counters_.trainedHits;
+        emitStride(obs, stride, out);
+    }
+}
+
+std::string
+StrideRptPrefetcher::name() const
+{
+    return warpTraining_ ? "stride_rpt.warp" : "stride_rpt";
+}
+
+void
+StrideRptPrefetcher::exportStats(StatSet &set,
+                                 const std::string &prefix) const
+{
+    HwPrefetcher::exportStats(set, prefix);
+    set.add(prefix + ".tableEvictions",
+            static_cast<double>(table_.evictions()),
+            "region entries evicted (LRU)");
+}
+
+} // namespace mtp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Region-indexed stride prefetcher (Table V "Stride", after Iacobovici
+ * et al.): tracks the delta between successive accesses falling in the
+ * same memory region rather than the same PC.
+ */
+
+#ifndef MTP_CORE_STRIDE_RPT_HH
+#define MTP_CORE_STRIDE_RPT_HH
+
+#include "core/lru_table.hh"
+#include "core/prefetcher.hh"
+#include "core/stride_pc.hh"
+
+namespace mtp {
+
+/** Stride prefetcher trained per memory region. */
+class StrideRptPrefetcher : public HwPrefetcher
+{
+  public:
+    explicit StrideRptPrefetcher(const SimConfig &cfg);
+
+    void observe(const PrefObservation &obs,
+                 std::vector<Addr> &out) override;
+
+    std::string name() const override;
+
+    void exportStats(StatSet &set, const std::string &prefix) const override;
+
+  private:
+    /** Region id of @p addr: the address above regionBits low bits. */
+    std::uint64_t regionOf(Addr addr) const { return addr >> regionBits_; }
+
+    unsigned regionBits_;
+    LruTable<PcWid, StridePcPrefetcher::Entry, PcWidHash> table_;
+};
+
+} // namespace mtp
+
+#endif // MTP_CORE_STRIDE_RPT_HH

@@ -1,0 +1,145 @@
+#include "core/throttle.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace mtp {
+
+namespace {
+
+/** Per-period stderr tracing, enabled with MTP_THROTTLE_TRACE=1. */
+bool
+traceEnabled()
+{
+    static const bool enabled = std::getenv("MTP_THROTTLE_TRACE");
+    return enabled;
+}
+
+} // namespace
+
+ThrottleEngine::ThrottleEngine(const SimConfig &cfg)
+    : earlyHigh_(cfg.earlyEvictHigh),
+      earlyLow_(cfg.earlyEvictLow),
+      mergeHigh_(cfg.mergeHigh),
+      degree_(cfg.throttleInitDegree)
+{
+}
+
+void
+ThrottleEngine::updatePeriod(const Snapshot &cumulative)
+{
+    ++updates_;
+    std::uint64_t d_early = cumulative.earlyEvictions - last_.earlyEvictions;
+    std::uint64_t d_useful = cumulative.useful - last_.useful;
+    std::uint64_t d_fills = cumulative.fills - last_.fills;
+    std::uint64_t d_merges = (cumulative.merges + cumulative.prefCacheHits) -
+                             (last_.merges + last_.prefCacheHits);
+    std::uint64_t d_total =
+        (cumulative.totalRequests + cumulative.prefCacheHits) -
+        (last_.totalRequests + last_.prefCacheHits);
+    last_ = cumulative;
+
+    // Merge ratio is meaningful with or without prefetch activity;
+    // update it every period (Eq. 8: average with the previous value,
+    // seeded with the first observation rather than zero).
+    double monitored_merge =
+        d_total ? static_cast<double>(d_merges) /
+                      static_cast<double>(d_total)
+                : 0.0;
+    curMerge_ = updates_ == 1 ? monitored_merge
+                              : (curMerge_ + monitored_merge) / 2.0;
+
+    if (traceEnabled()) {
+        std::fprintf(stderr,
+                     "throttle: upd=%llu fills=%llu early=%llu "
+                     "useful=%llu merge=%.3f deg=%u\n",
+                     static_cast<unsigned long long>(updates_),
+                     static_cast<unsigned long long>(d_fills),
+                     static_cast<unsigned long long>(d_early),
+                     static_cast<unsigned long long>(d_useful), curMerge_,
+                     degree_);
+    }
+
+    if (d_fills < observableFills || (d_useful == 0 && d_early == 0)) {
+        // Too little prefetch flow this period for the early-eviction
+        // metric to mean anything — cold start (fills issued but none
+        // consumed yet), or the engine throttled everything off. Probe:
+        // walk the degree down so flow returns and a later period can
+        // be judged on real data. Each time the heuristics re-confirm
+        // that prefetching is harmful the probe interval doubles, so a
+        // persistently bad benchmark is barely perturbed.
+        ++idlePeriods_;
+        if (++idleSinceProbe_ >= probeBackoff_) {
+            idleSinceProbe_ = 0;
+            if (degree_ > 0)
+                --degree_;
+        }
+        return;
+    }
+    idleSinceProbe_ = 0;
+
+    // Eq. 5 / Eq. 7: the monitored early-eviction rate replaces the
+    // previous value.
+    curEarly_ = d_useful
+                    ? static_cast<double>(d_early) /
+                          static_cast<double>(d_useful)
+                    : (d_early ? std::numeric_limits<double>::infinity()
+                               : 0.0);
+
+    // Table I heuristics.
+    if (curEarly_ > earlyHigh_) {
+        degree_ = noPrefetchDegree; // High -> No Prefetch
+        probeBackoff_ = std::min<std::uint64_t>(probeBackoff_ * 2,
+                                                maxProbeBackoff);
+    } else if (curEarly_ >= earlyLow_) {
+        // Medium -> fewer prefetches; but while the merge ratio says
+        // the flow is clearly productive, hold instead of ratcheting
+        // (throttling itself orphans fills and inflates the early
+        // rate, which would otherwise feed back into more throttling).
+        if (curMerge_ <= mergeHigh_ && degree_ < noPrefetchDegree)
+            ++degree_;
+    } else if (curMerge_ > mergeHigh_) {
+        if (degree_ > 0) // Low/High -> more prefetches
+            --degree_;
+        probeBackoff_ = 1; // prefetching confirmed healthy
+    } else {
+        degree_ = noPrefetchDegree; // Low/Low -> No Prefetch
+        probeBackoff_ = std::min<std::uint64_t>(probeBackoff_ * 2,
+                                                maxProbeBackoff);
+    }
+}
+
+bool
+ThrottleEngine::shouldDrop()
+{
+    ++dropCounter_;
+    bool drop = (dropCounter_ % noPrefetchDegree) < degree_;
+    if (drop)
+        ++dropped_;
+    else
+        ++allowed_;
+    return drop;
+}
+
+void
+ThrottleEngine::exportStats(StatSet &set, const std::string &prefix) const
+{
+    set.add(prefix + ".degree", static_cast<double>(degree_),
+            "final throttle degree (0=all prefetches, 5=none)");
+    set.add(prefix + ".dropped", static_cast<double>(dropped_),
+            "prefetch requests dropped");
+    set.add(prefix + ".allowed", static_cast<double>(allowed_),
+            "prefetch requests allowed");
+    set.add(prefix + ".updates", static_cast<double>(updates_),
+            "period updates performed");
+    set.add(prefix + ".idlePeriods", static_cast<double>(idlePeriods_),
+            "periods without prefetch flow");
+    set.add(prefix + ".earlyRate", curEarly_,
+            "current early eviction rate (Eq. 5/7)");
+    set.add(prefix + ".mergeRatio", curMerge_,
+            "current merge ratio (Eq. 6/8)");
+}
+
+} // namespace mtp

@@ -1,0 +1,118 @@
+#include "mem/cache.hh"
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace mtp {
+
+SetAssocCache::SetAssocCache(unsigned capacityBytes, unsigned assoc)
+    : assoc_(assoc)
+{
+    MTP_ASSERT(capacityBytes >= blockBytes && isPowerOf2(capacityBytes),
+               "cache capacity must be a power of two >= ", blockBytes);
+    unsigned blocks = capacityBytes / blockBytes;
+    MTP_ASSERT(assoc_ > 0 && blocks % assoc_ == 0,
+               "associativity ", assoc_, " must divide ", blocks, " blocks");
+    numSets_ = blocks / assoc_;
+    lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+unsigned
+SetAssocCache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>(blockIndex(addr) % numSets_);
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr)
+{
+    Addr block = blockAlign(addr);
+    Line *set = &lines_[static_cast<std::size_t>(setIndex(addr)) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (set[w].valid && set[w].addr == block)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(addr);
+}
+
+SetAssocCache::Line *
+SetAssocCache::lookup(Addr addr, bool touch)
+{
+    Line *line = findLine(addr);
+    if (line && touch)
+        line->lastUse = ++tick_;
+    return line;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::lookup(Addr addr) const
+{
+    return findLine(addr);
+}
+
+std::optional<SetAssocCache::Line>
+SetAssocCache::insert(Addr addr, std::uint8_t flags)
+{
+    Addr block = blockAlign(addr);
+    if (Line *line = findLine(addr)) {
+        line->flags = flags;
+        line->lastUse = ++tick_;
+        return std::nullopt;
+    }
+    Line *set = &lines_[static_cast<std::size_t>(setIndex(addr)) * assoc_];
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    std::optional<Line> evicted;
+    if (victim->valid)
+        evicted = *victim;
+    victim->addr = block;
+    victim->flags = flags;
+    victim->valid = true;
+    victim->lastUse = ++tick_;
+    return evicted;
+}
+
+std::optional<SetAssocCache::Line>
+SetAssocCache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        Line old = *line;
+        line->valid = false;
+        line->addr = invalidAddr;
+        line->flags = 0;
+        return old;
+    }
+    return std::nullopt;
+}
+
+void
+SetAssocCache::reset()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    tick_ = 0;
+}
+
+unsigned
+SetAssocCache::validLines() const
+{
+    unsigned n = 0;
+    for (const auto &line : lines_)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace mtp

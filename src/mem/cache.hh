@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Generic set-associative cache with true-LRU replacement. Used as the
+ * storage substrate of the per-core prefetch cache; only tags and
+ * per-line metadata flags are modeled (the simulator carries no data).
+ */
+
+#ifndef MTP_MEM_CACHE_HH
+#define MTP_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mtp {
+
+/** Tag-only set-associative LRU cache. */
+class SetAssocCache
+{
+  public:
+    /** Per-line metadata. */
+    struct Line
+    {
+        Addr addr = invalidAddr; //!< block-aligned address
+        std::uint8_t flags = 0;  //!< caller-defined metadata bits
+        bool valid = false;
+        std::uint64_t lastUse = 0; //!< LRU timestamp
+    };
+
+    /**
+     * @param capacityBytes total capacity (power of two)
+     * @param assoc ways per set; must divide capacityBytes/blockBytes
+     */
+    SetAssocCache(unsigned capacityBytes, unsigned assoc);
+
+    /**
+     * Look up @p addr (any alignment).
+     * @param touch update LRU state on hit
+     * @return pointer to the hit line, or nullptr on miss. The pointer
+     *         is invalidated by the next insert().
+     */
+    Line *lookup(Addr addr, bool touch = true);
+    const Line *lookup(Addr addr) const;
+
+    /** @return true without perturbing LRU state. */
+    bool contains(Addr addr) const { return lookup(addr) != nullptr; }
+
+    /**
+     * Insert @p addr with metadata @p flags, evicting the set's LRU line
+     * if needed. If the block is already resident its flags are replaced
+     * and it becomes MRU.
+     * @return the victim line's previous contents if a valid line was
+     *         evicted.
+     */
+    std::optional<Line> insert(Addr addr, std::uint8_t flags);
+
+    /**
+     * Invalidate @p addr if resident.
+     * @return the invalidated line's contents, if any.
+     */
+    std::optional<Line> invalidate(Addr addr);
+
+    /** Invalidate everything and reset LRU state. */
+    void reset();
+
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned capacityBytes() const { return numSets_ * assoc_ * blockBytes; }
+
+    /** Number of currently valid lines (O(capacity); for tests/stats). */
+    unsigned validLines() const;
+
+  private:
+    unsigned setIndex(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    unsigned numSets_;
+    unsigned assoc_;
+    std::uint64_t tick_ = 0; //!< monotonic LRU clock
+    std::vector<Line> lines_; //!< numSets_ x assoc_, row-major
+};
+
+} // namespace mtp
+
+#endif // MTP_MEM_CACHE_HH

@@ -1,0 +1,197 @@
+#include "mem/dram.hh"
+
+#include "common/log.hh"
+
+namespace mtp {
+
+namespace {
+
+/** Convert a DRAM-clock cycle count to core cycles (rounding up). */
+Cycle
+toCoreCycles(unsigned dram_cycles, unsigned num, unsigned den)
+{
+    // core_freq / mem_freq = den / num, so t_core = t_mem * den / num.
+    return (static_cast<Cycle>(dram_cycles) * den + num - 1) / num;
+}
+
+} // namespace
+
+DramChannel::DramChannel(const SimConfig &cfg, unsigned channelId)
+    : channels_(cfg.dramChannels),
+      numBanks_(cfg.dramBanks),
+      blocksPerRow_(cfg.dramRowBytes / blockBytes),
+      bufEntries_(cfg.memBufEntries),
+      demandPriority_(cfg.demandPriority),
+      tCl_(toCoreCycles(cfg.dramTCL, cfg.memClockNum, cfg.memClockDen)),
+      tRcd_(toCoreCycles(cfg.dramTRCD, cfg.memClockNum, cfg.memClockDen)),
+      tRp_(toCoreCycles(cfg.dramTRP, cfg.memClockNum, cfg.memClockDen)),
+      burst_(blockBytes / cfg.dramBusBytesPerCycle),
+      extraLatency_(cfg.memLatencyExtra),
+      banks_(cfg.dramBanks)
+{
+    (void)channelId;
+    MTP_ASSERT(blocksPerRow_ > 0, "row smaller than a block");
+    MTP_ASSERT(burst_ > 0, "bus wider than a block");
+}
+
+DramCoord
+DramChannel::mapAddr(Addr addr) const
+{
+    // Blocks are channel-interleaved by the memory system; within a
+    // channel, consecutive per-channel blocks fill a row, rows are
+    // bank-interleaved.
+    std::uint64_t per_chan_block = blockIndex(addr) / channels_;
+    std::uint64_t global_row = per_chan_block / blocksPerRow_;
+    return {static_cast<unsigned>(global_row % numBanks_),
+            global_row / numBanks_};
+}
+
+bool
+DramChannel::insert(MemRequest &&req)
+{
+    for (auto &queued : buffer_) {
+        if (queued.addr == req.addr &&
+            MemRequest::mergeable(queued.type, req.type)) {
+            queued.mergeFrom(std::move(req));
+            ++counters_.interCoreMerges;
+            return true;
+        }
+    }
+    MTP_ASSERT(!bufferFull(), "insert() into a full DRAM request buffer");
+    buffer_.push_back(std::move(req));
+    return false;
+}
+
+bool
+DramChannel::upgradeToDemand(Addr addr)
+{
+    for (auto &req : buffer_) {
+        if (req.addr == addr && isPrefetch(req.type)) {
+            req.type = ReqType::DemandLoad;
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+DramChannel::pickRequest(Cycle now) const
+{
+    // FR-FCFS with demand priority: walk the buffer oldest-first and
+    // remember, per priority class, the first row-hit and the first
+    // schedulable request. Demand row-hit > demand > prefetch row-hit >
+    // prefetch (Table II: demand has higher priority than prefetch).
+    int best_hit[2] = {-1, -1};  // [0]: demand, [1]: prefetch
+    int best_any[2] = {-1, -1};
+    for (int i = 0; i < static_cast<int>(buffer_.size()); ++i) {
+        const MemRequest &req = buffer_[i];
+        DramCoord c = mapAddr(req.addr);
+        const Bank &bank = banks_[c.bank];
+        if (bank.busyUntil > now)
+            continue;
+        int cls = (demandPriority_ && isPrefetch(req.type)) ? 1 : 0;
+        if (best_any[cls] < 0)
+            best_any[cls] = i;
+        if (best_hit[cls] < 0 && bank.openRow == c.row)
+            best_hit[cls] = i;
+    }
+    for (int cls = 0; cls < 2; ++cls) {
+        if (best_hit[cls] >= 0)
+            return best_hit[cls];
+        if (best_any[cls] >= 0)
+            return best_any[cls];
+    }
+    return -1;
+}
+
+void
+DramChannel::tick(Cycle now, std::vector<MemRequest> &completed)
+{
+    // Retire finished data transfers.
+    for (std::size_t i = 0; i < inService_.size();) {
+        if (inService_[i].doneAt <= now) {
+            completed.push_back(std::move(inService_[i].req));
+            inService_[i] = std::move(inService_.back());
+            inService_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+
+    // Schedule at most one request per cycle (command-bus limit).
+    int pick = pickRequest(now);
+    if (pick < 0)
+        return;
+
+    MemRequest req = std::move(buffer_[pick]);
+    buffer_.erase(buffer_.begin() + pick);
+
+    DramCoord c = mapAddr(req.addr);
+    Bank &bank = banks_[c.bank];
+
+    Cycle act_cost;
+    if (bank.openRow == c.row) {
+        act_cost = 0;
+        ++counters_.rowHits;
+    } else if (bank.openRow == noRow) {
+        act_cost = tRcd_;
+        ++counters_.rowEmpty;
+    } else {
+        act_cost = tRp_ + tRcd_;
+        ++counters_.rowConflicts;
+    }
+
+    Cycle cas_done = now + act_cost + tCl_;
+    Cycle data_start = std::max(cas_done, busFreeAt_);
+    // Sparse (32 B) transactions occupy the data bus for half a burst.
+    Cycle burst = std::max<Cycle>(1, burst_ * req.bytes / blockBytes);
+    Cycle done = data_start + burst;
+
+    bank.openRow = c.row;
+    bank.busyUntil = done;
+    busFreeAt_ = done;
+
+    counters_.bytesTransferred += req.bytes;
+    if (req.type == ReqType::DemandStore)
+        ++counters_.writes;
+    else
+        ++counters_.reads;
+    if (isPrefetch(req.type))
+        ++counters_.prefetchServiced;
+    else
+        ++counters_.demandServiced;
+
+    // The response leaves the controller after the fixed pipeline
+    // latency; the bank and bus are free at `done`.
+    inService_.push_back({std::move(req), done + extraLatency_});
+}
+
+void
+DramChannel::exportStats(StatSet &set, const std::string &prefix) const
+{
+    set.add(prefix + ".reads", static_cast<double>(counters_.reads),
+            "read bursts serviced");
+    set.add(prefix + ".writes", static_cast<double>(counters_.writes),
+            "write bursts serviced");
+    set.add(prefix + ".rowHits", static_cast<double>(counters_.rowHits),
+            "row-buffer hits");
+    set.add(prefix + ".rowEmpty", static_cast<double>(counters_.rowEmpty),
+            "accesses to closed banks");
+    set.add(prefix + ".rowConflicts",
+            static_cast<double>(counters_.rowConflicts),
+            "row-buffer conflicts");
+    set.add(prefix + ".interCoreMerges",
+            static_cast<double>(counters_.interCoreMerges),
+            "inter-core merges in the request buffer");
+    set.add(prefix + ".bytes",
+            static_cast<double>(counters_.bytesTransferred),
+            "bytes moved over the data bus");
+    set.add(prefix + ".demandServiced",
+            static_cast<double>(counters_.demandServiced),
+            "demand bursts serviced");
+    set.add(prefix + ".prefetchServiced",
+            static_cast<double>(counters_.prefetchServiced),
+            "prefetch bursts serviced");
+}
+
+} // namespace mtp

@@ -1,0 +1,78 @@
+#include "mem/icnt.hh"
+
+#include "common/log.hh"
+
+namespace mtp {
+
+Icnt::Icnt(unsigned destinations, unsigned latency)
+    : latency_(latency), pipes_(destinations)
+{
+    MTP_ASSERT(destinations > 0, "Icnt needs at least one destination");
+}
+
+void
+Icnt::send(unsigned dest, MemRequest &&req, Cycle now)
+{
+    MTP_ASSERT(dest < pipes_.size(), "Icnt destination ", dest,
+               " out of range");
+    pipes_[dest].push_back({std::move(req), now + latency_});
+    ++packetsSent_;
+}
+
+bool
+Icnt::frontReady(unsigned dest, Cycle now) const
+{
+    MTP_ASSERT(dest < pipes_.size(), "Icnt destination ", dest,
+               " out of range");
+    return !pipes_[dest].empty() && pipes_[dest].front().readyAt <= now;
+}
+
+MemRequest
+Icnt::pop(unsigned dest)
+{
+    MTP_ASSERT(dest < pipes_.size() && !pipes_[dest].empty(),
+               "pop() on empty Icnt pipe ", dest);
+    MemRequest req = std::move(pipes_[dest].front().req);
+    pipes_[dest].pop_front();
+    return req;
+}
+
+bool
+Icnt::upgradeToDemand(unsigned dest, Addr addr)
+{
+    MTP_ASSERT(dest < pipes_.size(), "Icnt destination ", dest,
+               " out of range");
+    for (auto &timed : pipes_[dest]) {
+        if (timed.req.addr == addr && isPrefetch(timed.req.type)) {
+            timed.req.type = ReqType::DemandLoad;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+Icnt::inFlight(unsigned dest) const
+{
+    MTP_ASSERT(dest < pipes_.size(), "Icnt destination ", dest,
+               " out of range");
+    return pipes_[dest].size();
+}
+
+std::size_t
+Icnt::totalInFlight() const
+{
+    std::size_t n = 0;
+    for (const auto &p : pipes_)
+        n += p.size();
+    return n;
+}
+
+void
+Icnt::exportStats(StatSet &set, const std::string &prefix) const
+{
+    set.add(prefix + ".packets", static_cast<double>(packetsSent_),
+            "packets injected");
+}
+
+} // namespace mtp

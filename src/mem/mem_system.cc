@@ -1,0 +1,169 @@
+#include "mem/mem_system.hh"
+
+#include "common/log.hh"
+
+namespace mtp {
+
+MemSystem::MemSystem(const SimConfig &cfg)
+    : cfg_(cfg),
+      numCores_(cfg.numCores),
+      reqNet_(cfg.dramChannels, cfg.icntLatency),
+      respNet_(cfg.numCores, cfg.icntLatency),
+      inFlightToChannel_(cfg.dramChannels, 0),
+      completions_(cfg.numCores)
+{
+    mrqs_.reserve(numCores_);
+    for (unsigned c = 0; c < numCores_; ++c)
+        mrqs_.push_back(std::make_unique<Mrq>(cfg.mrqEntries));
+    channels_.reserve(cfg.dramChannels);
+    for (unsigned ch = 0; ch < cfg.dramChannels; ++ch)
+        channels_.push_back(std::make_unique<DramChannel>(cfg, ch));
+    unsigned ports = (numCores_ + cfg.icntCoresPerPort - 1) /
+                     cfg.icntCoresPerPort;
+    portRR_.assign(ports, 0);
+}
+
+unsigned
+MemSystem::channelOf(Addr addr) const
+{
+    return static_cast<unsigned>(blockIndex(addr) % channels_.size());
+}
+
+bool
+MemSystem::issue(CoreId core, Addr blockAddr, ReqType type, Cycle now,
+                 std::uint16_t bytes)
+{
+    MTP_ASSERT(core < numCores_, "issue() from unknown core ", core);
+    MTP_ASSERT(blockAlign(blockAddr) == blockAddr,
+               "issue() address not block aligned");
+    return mrqs_[core]->push(
+        MemRequest::make(blockAddr, type, core, now, bytes));
+}
+
+void
+MemSystem::upgradeToDemand(CoreId core, Addr addr)
+{
+    MTP_ASSERT(core < numCores_, "upgrade from unknown core ", core);
+    if (mrqs_[core]->upgradeToDemand(addr))
+        return;
+    unsigned ch = channelOf(addr);
+    if (reqNet_.upgradeToDemand(ch, addr))
+        return;
+    channels_[ch]->upgradeToDemand(addr);
+}
+
+void
+MemSystem::injectFromPort(unsigned port, Cycle now)
+{
+    unsigned lo = port * cfg_.icntCoresPerPort;
+    unsigned members = std::min(cfg_.icntCoresPerPort, numCores_ - lo);
+    for (unsigned k = 0; k < members; ++k) {
+        unsigned idx = (portRR_[port] + k) % members;
+        CoreId core = lo + idx;
+        Mrq &mrq = *mrqs_[core];
+        if (mrq.empty())
+            continue;
+        unsigned ch = channelOf(mrq.head().addr);
+        // Credit-based gating: never put more requests in flight than
+        // the controller buffer can eventually hold.
+        if (channels_[ch]->bufferOccupancy() + inFlightToChannel_[ch] >=
+            cfg_.memBufEntries)
+            continue;
+        reqNet_.send(ch, mrq.pop(), now);
+        ++inFlightToChannel_[ch];
+        portRR_[port] = (idx + 1) % members;
+        return;
+    }
+}
+
+void
+MemSystem::tick(Cycle now)
+{
+    // 1. Deliver request packets into controller buffers.
+    for (unsigned ch = 0; ch < channels_.size(); ++ch) {
+        while (reqNet_.frontReady(ch, now) && !channels_[ch]->bufferFull()) {
+            channels_[ch]->insert(reqNet_.pop(ch));
+            MTP_ASSERT(inFlightToChannel_[ch] > 0, "in-flight underflow");
+            --inFlightToChannel_[ch];
+        }
+    }
+
+    // 2. Advance DRAM; route completions toward their sharer cores.
+    for (auto &channel : channels_) {
+        completedScratch_.clear();
+        channel->tick(now, completedScratch_);
+        for (auto &req : completedScratch_) {
+            if (req.type == ReqType::DemandStore)
+                continue; // stores need no response
+            for (std::size_t i = 1; i < req.sharers.size(); ++i) {
+                MemRequest copy = req;
+                respNet_.send(req.sharers[i], std::move(copy), now);
+            }
+            CoreId first = req.sharers.front();
+            respNet_.send(first, std::move(req), now);
+        }
+    }
+
+    // 3. Inject from MRQs: at most one request per port per cycle.
+    for (unsigned port = 0; port < portRR_.size(); ++port)
+        injectFromPort(port, now);
+
+    // 4. Deliver responses to cores (MSHR retirement happens there).
+    for (CoreId core = 0; core < numCores_; ++core) {
+        while (respNet_.frontReady(core, now))
+            completions_[core].push_back(respNet_.pop(core));
+    }
+}
+
+std::vector<MemRequest> &
+MemSystem::completions(CoreId core)
+{
+    MTP_ASSERT(core < numCores_, "completions() for unknown core ", core);
+    return completions_[core];
+}
+
+bool
+MemSystem::drained() const
+{
+    for (const auto &mrq : mrqs_) {
+        if (!mrq->empty())
+            return false;
+    }
+    if (!reqNet_.drained() || !respNet_.drained())
+        return false;
+    for (const auto &channel : channels_) {
+        if (!channel->drained())
+            return false;
+    }
+    for (const auto &list : completions_) {
+        if (!list.empty())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+MemSystem::dramBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &channel : channels_)
+        n += channel->counters().bytesTransferred;
+    return n;
+}
+
+void
+MemSystem::exportStats(StatSet &set, const std::string &prefix) const
+{
+    for (unsigned c = 0; c < numCores_; ++c)
+        mrqs_[c]->exportStats(set, prefix + ".core" + std::to_string(c) +
+                                       ".mrq");
+    for (unsigned ch = 0; ch < channels_.size(); ++ch)
+        channels_[ch]->exportStats(set, prefix + ".dram" +
+                                            std::to_string(ch));
+    reqNet_.exportStats(set, prefix + ".reqNet");
+    respNet_.exportStats(set, prefix + ".respNet");
+    set.add(prefix + ".dramBytes", static_cast<double>(dramBytes()),
+            "total DRAM data-bus bytes");
+}
+
+} // namespace mtp

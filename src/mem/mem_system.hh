@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Top-level memory system (Fig. 1): per-core MRQs drain through the
+ * interconnect into per-channel DRAM controllers; responses return
+ * through the interconnect to the requesting core(s). Implements the
+ * injection limit (one request from every two cores per cycle) and the
+ * inter-core merge level of Fig. 2b. Intra-core merging and waiter
+ * bookkeeping live in the cores' MSHR files.
+ */
+
+#ifndef MTP_MEM_MEM_SYSTEM_HH
+#define MTP_MEM_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/dram.hh"
+#include "mem/icnt.hh"
+#include "mem/mrq.hh"
+
+namespace mtp {
+
+/** Cores' gateway to the interconnect and DRAM. */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const SimConfig &cfg);
+
+    /**
+     * Enqueue one block transaction from @p core.
+     * @return false if the core's MRQ is full (caller retries).
+     */
+    bool issue(CoreId core, Addr blockAddr, ReqType type, Cycle now,
+               std::uint16_t bytes = blockBytes);
+
+    /**
+     * Promote a queued prefetch of @p addr from @p core to demand
+     * priority (a demand merged with it in the core's MSHR).
+     */
+    void upgradeToDemand(CoreId core, Addr addr);
+
+    /** Advance the interconnect and all DRAM channels by one cycle. */
+    void tick(Cycle now);
+
+    /**
+     * Responses delivered to @p core and not yet consumed. The core
+     * drains this list every cycle and must clear() it.
+     */
+    std::vector<MemRequest> &completions(CoreId core);
+
+    Mrq &mrq(CoreId core) { return *mrqs_[core]; }
+    const Mrq &mrq(CoreId core) const { return *mrqs_[core]; }
+
+    DramChannel &channel(unsigned ch) { return *channels_[ch]; }
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(channels_.size());
+    }
+
+    /** Which channel services @p addr (block interleaving). */
+    unsigned channelOf(Addr addr) const;
+
+    /** @return true iff no request is anywhere in the memory system. */
+    bool drained() const;
+
+    /** Total bytes moved over all DRAM data buses. */
+    std::uint64_t dramBytes() const;
+
+    /** Export the whole memory hierarchy's stats under @p prefix. */
+    void exportStats(StatSet &set, const std::string &prefix) const;
+
+  private:
+    /** Try to inject one request from one of a port's cores. */
+    void injectFromPort(unsigned port, Cycle now);
+
+    SimConfig cfg_;
+    unsigned numCores_;
+    std::vector<std::unique_ptr<Mrq>> mrqs_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+    Icnt reqNet_;  //!< cores -> channels
+    Icnt respNet_; //!< channels -> cores
+    std::vector<std::size_t> inFlightToChannel_; //!< gating counters
+    std::vector<unsigned> portRR_; //!< per-port round-robin pointer
+    std::vector<std::vector<MemRequest>> completions_;
+    std::vector<MemRequest> completedScratch_;
+};
+
+} // namespace mtp
+
+#endif // MTP_MEM_MEM_SYSTEM_HH

@@ -1,0 +1,67 @@
+#include "mem/mrq.hh"
+
+#include "common/log.hh"
+
+namespace mtp {
+
+bool
+Mrq::push(MemRequest &&req)
+{
+    if (full()) {
+        ++counters_.fullStalls;
+        return false;
+    }
+    ++counters_.pushes;
+    queue_.push_back(std::move(req));
+    return true;
+}
+
+std::size_t
+Mrq::headIndex() const
+{
+    // FIFO drain: the paper applies demand-over-prefetch priority at
+    // the DRAM controller (Table II), not in the core's queue — so
+    // prefetch requests genuinely delay later demands here, the effect
+    // Sec. IV-B describes.
+    MTP_ASSERT(!queue_.empty(), "head() on empty MRQ");
+    return 0;
+}
+
+const MemRequest &
+Mrq::head() const
+{
+    return queue_[headIndex()];
+}
+
+MemRequest
+Mrq::pop()
+{
+    std::size_t idx = headIndex();
+    MemRequest req = std::move(queue_[idx]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+    return req;
+}
+
+bool
+Mrq::upgradeToDemand(Addr addr)
+{
+    for (auto &req : queue_) {
+        if (req.addr == addr && isPrefetch(req.type)) {
+            req.type = ReqType::DemandLoad;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Mrq::exportStats(StatSet &set, const std::string &prefix) const
+{
+    set.add(prefix + ".pushes", static_cast<double>(counters_.pushes),
+            "requests enqueued");
+    set.add(prefix + ".fullStalls",
+            static_cast<double>(counters_.fullStalls),
+            "pushes rejected because the queue was full");
+}
+
+} // namespace mtp

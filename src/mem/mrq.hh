@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-core Memory Request Queue (Fig. 1). Same-block deduplication is
+ * handled upstream by the core's MSHR file, so the MRQ is a bounded
+ * queue whose drain order gives demands priority over prefetches
+ * (Table II: demand requests have higher priority throughout).
+ */
+
+#ifndef MTP_MEM_MRQ_HH
+#define MTP_MEM_MRQ_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/stats.hh"
+#include "mem/mem_request.hh"
+
+namespace mtp {
+
+/** Bounded, demand-first memory request queue. */
+class Mrq
+{
+  public:
+    /** Cumulative counters. */
+    struct Counters
+    {
+        std::uint64_t pushes = 0;     //!< requests enqueued
+        std::uint64_t fullStalls = 0; //!< rejected pushes
+    };
+
+    explicit Mrq(unsigned capacity) : capacity_(capacity) {}
+
+    std::size_t size() const { return queue_.size(); }
+    bool empty() const { return queue_.empty(); }
+    bool full() const { return queue_.size() >= capacity_; }
+
+    /**
+     * Enqueue @p req. @return false (and count a stall) if full.
+     */
+    bool push(MemRequest &&req);
+
+    /**
+     * Next request to inject: the oldest demand if any, else the oldest
+     * prefetch. Queue must not be empty.
+     */
+    const MemRequest &head() const;
+
+    /** Remove and return the request head() designates. */
+    MemRequest pop();
+
+    /**
+     * Promote a queued prefetch of @p addr to demand priority (a demand
+     * just merged with it in the MSHR). No-op if not queued.
+     * @return true if a request was upgraded.
+     */
+    bool upgradeToDemand(Addr addr);
+
+    const Counters &counters() const { return counters_; }
+
+    /** Export counters under "<prefix>." into @p set. */
+    void exportStats(StatSet &set, const std::string &prefix) const;
+
+  private:
+    /** Index of the request head()/pop() select. */
+    std::size_t headIndex() const;
+
+    unsigned capacity_;
+    std::deque<MemRequest> queue_;
+    Counters counters_;
+};
+
+} // namespace mtp
+
+#endif // MTP_MEM_MRQ_HH

@@ -1,0 +1,90 @@
+#include "mem/mshr.hh"
+
+#include "common/log.hh"
+
+namespace mtp {
+
+Mshr::Entry *
+Mshr::find(Addr addr)
+{
+    auto it = map_.find(addr);
+    return it == map_.end() ? nullptr : &it->second;
+}
+
+bool
+Mshr::demandAccess(Addr addr, const Waiter &waiter, Cycle now)
+{
+    ++counters_.totalRequests;
+    if (Entry *entry = find(addr)) {
+        ++counters_.merges;
+        if (entry->prefetch && !entry->demandJoined)
+            ++counters_.demandIntoPref;
+        entry->demandJoined = true;
+        entry->waiters.push_back(waiter);
+        return true;
+    }
+    MTP_ASSERT(!full(), "demandAccess() allocation on a full MSHR");
+    Entry entry;
+    entry.waiters.push_back(waiter);
+    entry.created = now;
+    map_.emplace(addr, std::move(entry));
+    ++demandEntries_;
+    return false;
+}
+
+bool
+Mshr::prefetchAccess(Addr addr, Cycle now)
+{
+    ++counters_.totalRequests;
+    if (find(addr)) {
+        ++counters_.merges;
+        ++counters_.prefDroppedInflight;
+        return true;
+    }
+    MTP_ASSERT(!prefetchFull(),
+               "prefetchAccess() allocation on a full prefetch pool");
+    Entry entry;
+    entry.prefetch = true;
+    entry.created = now;
+    map_.emplace(addr, std::move(entry));
+    ++prefetchEntries_;
+    return false;
+}
+
+Mshr::Entry
+Mshr::retire(Addr addr)
+{
+    auto it = map_.find(addr);
+    MTP_ASSERT(it != map_.end(), "response for untracked block ", addr);
+    Entry entry = std::move(it->second);
+    map_.erase(it);
+    if (entry.prefetch) {
+        MTP_ASSERT(prefetchEntries_ > 0, "prefetch entry underflow");
+        --prefetchEntries_;
+    } else {
+        MTP_ASSERT(demandEntries_ > 0, "demand entry underflow");
+        --demandEntries_;
+    }
+    return entry;
+}
+
+void
+Mshr::exportStats(StatSet &set, const std::string &prefix) const
+{
+    set.add(prefix + ".totalRequests",
+            static_cast<double>(counters_.totalRequests),
+            "demand and prefetch transactions looked up");
+    set.add(prefix + ".merges", static_cast<double>(counters_.merges),
+            "intra-core merges with in-flight blocks");
+    set.add(prefix + ".demandIntoPref",
+            static_cast<double>(counters_.demandIntoPref),
+            "demands joining in-flight prefetches (late prefetches)");
+    set.add(prefix + ".prefDroppedInflight",
+            static_cast<double>(counters_.prefDroppedInflight),
+            "prefetches to blocks already in flight");
+    set.add(prefix + ".fullStalls",
+            static_cast<double>(counters_.fullStalls),
+            "stalls because all MSHRs were busy");
+}
+
+} // namespace mtp

@@ -1,0 +1,68 @@
+#include "mem/prefetch_cache.hh"
+
+namespace mtp {
+
+PrefetchCache::PrefetchCache(unsigned capacityBytes, unsigned assoc)
+    : cache_(capacityBytes, assoc)
+{
+}
+
+bool
+PrefetchCache::demandAccess(Addr addr)
+{
+    SetAssocCache::Line *line = cache_.lookup(addr, /*touch=*/true);
+    if (!line) {
+        ++counters_.demandMisses;
+        return false;
+    }
+    ++counters_.demandHits;
+    if (!(line->flags & flagUsed)) {
+        line->flags |= flagUsed;
+        ++counters_.useful;
+    }
+    return true;
+}
+
+void
+PrefetchCache::fill(Addr addr)
+{
+    ++counters_.fills;
+    if (cache_.contains(addr)) {
+        // Re-fill of a resident block: refresh recency, keep used bit.
+        ++counters_.redundantFills;
+        cache_.lookup(addr, /*touch=*/true);
+        return;
+    }
+    auto evicted = cache_.insert(addr, 0);
+    if (evicted && !(evicted->flags & flagUsed))
+        ++counters_.earlyEvictions;
+}
+
+void
+PrefetchCache::reset()
+{
+    cache_.reset();
+}
+
+void
+PrefetchCache::exportStats(StatSet &set, const std::string &prefix) const
+{
+    set.add(prefix + ".fills", static_cast<double>(counters_.fills),
+            "prefetched blocks inserted");
+    set.add(prefix + ".demandHits",
+            static_cast<double>(counters_.demandHits),
+            "demand lookups that hit the prefetch cache");
+    set.add(prefix + ".demandMisses",
+            static_cast<double>(counters_.demandMisses),
+            "demand lookups that missed");
+    set.add(prefix + ".useful", static_cast<double>(counters_.useful),
+            "prefetched blocks used at least once");
+    set.add(prefix + ".earlyEvictions",
+            static_cast<double>(counters_.earlyEvictions),
+            "prefetched blocks evicted before first use");
+    set.add(prefix + ".redundantFills",
+            static_cast<double>(counters_.redundantFills),
+            "fills of already-resident blocks");
+}
+
+} // namespace mtp

@@ -1,0 +1,479 @@
+#include "sim/core.hh"
+
+#include "common/log.hh"
+#include "trace/coalescer.hh"
+
+namespace mtp {
+
+Core::Core(const SimConfig &cfg, CoreId id, const KernelDesc *kernel,
+           MemSystem *mem)
+    : cfg_(cfg),
+      id_(id),
+      kernel_(kernel),
+      mem_(mem),
+      maxBlocks_(std::min(cfg.maxBlocksPerCore, kernel->maxBlocksPerCore)),
+      mshr_(cfg.mshrEntries, cfg.prefMshrEntries),
+      prefCache_(cfg.prefCacheBytes, cfg.prefCacheAssoc),
+      nextPeriodAt_(cfg.throttlePeriod)
+{
+    MTP_ASSERT(kernel_->finalized(), "core built on unfinalized kernel");
+    warps_.resize(static_cast<std::size_t>(maxBlocks_) *
+                  kernel_->warpsPerBlock);
+    blockRemaining_.assign(maxBlocks_, 0);
+    blockIds_.assign(maxBlocks_, 0);
+    prefetcher_ = makeHwPrefetcher(cfg);
+    if (cfg.throttleEnable)
+        throttle_ = std::make_unique<ThrottleEngine>(cfg);
+    if (cfg.stridePcLateThrottle)
+        lateThrottle_ = std::make_unique<LatenessThrottle>();
+}
+
+Cycle
+Core::occupancy(const StaticInst &inst) const
+{
+    switch (inst.op) {
+      case Opcode::Imul:
+        return cfg_.latencyImul;
+      case Opcode::Fdiv:
+        return cfg_.latencyFdiv;
+      default:
+        return cfg_.latencyOther;
+    }
+}
+
+void
+Core::dispatchBlock(BlockId block)
+{
+    MTP_ASSERT(hasBlockCapacity(), "dispatch to a full core");
+    unsigned slot = 0;
+    while (slot < maxBlocks_ && blockRemaining_[slot] != 0)
+        ++slot;
+    MTP_ASSERT(slot < maxBlocks_, "no free block slot despite capacity");
+
+    blockRemaining_[slot] = kernel_->warpsPerBlock;
+    blockIds_[slot] = block;
+    ++activeBlocks_;
+    for (unsigned w = 0; w < kernel_->warpsPerBlock; ++w) {
+        std::uint32_t widx = slot * kernel_->warpsPerBlock + w;
+        MTP_ASSERT(!warps_[widx].active, "dispatch onto a live warp");
+        GlobalWarpId gwid = block * kernel_->warpsPerBlock + w;
+        warps_[widx].assign(kernel_, gwid, block);
+    }
+    maxActiveWarps_ = std::max(maxActiveWarps_, activeWarps());
+}
+
+unsigned
+Core::activeWarps() const
+{
+    unsigned n = 0;
+    for (const auto &w : warps_)
+        n += w.active ? 1 : 0;
+    return n;
+}
+
+bool
+Core::idle() const
+{
+    return activeWarps() == 0 && !lsu_.valid;
+}
+
+void
+Core::tick(Cycle now)
+{
+    drainCompletions(now);
+    periodUpdate(now);
+    processLsu(now);
+    issue(now);
+    retireWarps();
+}
+
+void
+Core::drainCompletions(Cycle now)
+{
+    auto &list = mem_->completions(id_);
+    for (auto &req : list) {
+        Mshr::Entry entry = mshr_.retire(req.addr);
+        if (entry.prefetch) {
+            prefCache_.fill(req.addr);
+            ++counters_.prefCount;
+            counters_.prefLatencySum += now - entry.created;
+        }
+        for (const auto &waiter : entry.waiters) {
+            Warp &warp = warps_[waiter.warpIdx];
+            auto s = static_cast<unsigned>(waiter.slot);
+            MTP_ASSERT(warp.active && warp.outstanding[s] > 0,
+                       "completion for a slot with no outstanding load");
+            --warp.outstanding[s];
+            ++counters_.demandCount;
+            counters_.demandLatencySum += now - waiter.issued;
+            demandLatencyHist_.sample(
+                static_cast<double>(now - waiter.issued));
+        }
+    }
+    list.clear();
+}
+
+void
+Core::processLsu(Cycle now)
+{
+    if (!lsu_.valid)
+        return;
+    while (lsu_.next < lsu_.txns.size()) {
+        Addr addr = lsu_.txns[lsu_.next].addr;
+        std::uint16_t bytes = lsu_.txns[lsu_.next].bytes;
+        if (lsu_.type == ReqType::DemandLoad) {
+            if (prefCache_.demandAccess(addr)) {
+                // Prefetch-cache hits cost the same as computational
+                // instructions (Sec. IV-A): no memory request at all.
+                ++counters_.prefCacheHitTxns;
+                Warp &warp = warps_[lsu_.warpIdx];
+                auto s = static_cast<unsigned>(lsu_.slot);
+                MTP_ASSERT(warp.outstanding[s] > 0,
+                           "prefetch-cache hit with no outstanding load");
+                --warp.outstanding[s];
+                ++lsu_.next;
+                continue;
+            }
+            Mshr::Entry *inflight = mshr_.find(addr);
+            if (!inflight && (mshr_.full() || mem_->mrq(id_).full())) {
+                if (mshr_.full())
+                    mshr_.noteFullStall();
+                return; // retry next cycle
+            }
+            ++counters_.demandTxns;
+            Mshr::Waiter waiter{lsu_.warpIdx, lsu_.slot, now};
+            bool merged = mshr_.demandAccess(addr, waiter, now);
+            if (merged) {
+                // Joined an in-flight block (a late prefetch if that
+                // block was prefetched): make sure the queued request
+                // has demand priority, and move on without a new fetch.
+                mem_->upgradeToDemand(id_, addr);
+                ++lsu_.next;
+                continue;
+            }
+            bool ok = mem_->issue(id_, addr, ReqType::DemandLoad, now,
+                                  bytes);
+            MTP_ASSERT(ok, "MRQ rejected a gated demand push");
+            ++lsu_.next;
+            break; // one MRQ push per cycle
+        }
+        if (lsu_.type == ReqType::DemandStore) {
+            if (!mem_->issue(id_, addr, ReqType::DemandStore, now, bytes))
+                return;
+            ++counters_.demandTxns;
+            ++lsu_.next;
+            break;
+        }
+        // Software prefetch transaction.
+        bool drop = false;
+        if (throttle_ && throttle_->shouldDrop()) {
+            ++counters_.swPrefDroppedThrottle;
+            drop = true;
+        } else if (prefCache_.contains(addr)) {
+            ++counters_.swPrefDroppedResident;
+            drop = true;
+        } else if (mshr_.prefetchFull() || mem_->mrq(id_).full()) {
+            // Never stall the pipeline for a prefetch.
+            ++counters_.swPrefDroppedResident;
+            drop = true;
+        } else if (mshr_.prefetchAccess(addr, now)) {
+            ++counters_.swPrefDroppedResident;
+            drop = true;
+        }
+        if (drop) {
+            ++lsu_.next;
+            continue; // dropped prefetches consume no MRQ bandwidth
+        }
+        bool ok = mem_->issue(id_, addr, ReqType::SwPrefetch, now, bytes);
+        MTP_ASSERT(ok, "MRQ rejected a gated prefetch push");
+        ++counters_.swPrefTxnsIssued;
+        ++lsu_.next;
+        break;
+    }
+    if (lsu_.next >= lsu_.txns.size()) {
+        if (lsu_.type == ReqType::DemandLoad)
+            runHwPrefetcher(now);
+        lsu_.valid = false;
+    }
+}
+
+void
+Core::startMemInst(const StaticInst &inst, std::uint32_t warpIdx, Cycle now)
+{
+    (void)now;
+    Warp &warp = warps_[warpIdx];
+    coalesceWarpAccess(inst.pattern, warp.lane0Tid, warp.cursor.iter(),
+                       lsu_.txns);
+    lsu_.next = 0;
+    lsu_.warpIdx = warpIdx;
+    lsu_.pc = inst.pc;
+    lsu_.slot = inst.destSlot;
+    lsu_.leadAddr = inst.pattern.laneAddr(warp.lane0Tid,
+                                          warp.cursor.iter());
+    lsu_.valid = true;
+    switch (inst.op) {
+      case Opcode::Load:
+        lsu_.type = ReqType::DemandLoad;
+        break;
+      case Opcode::Store:
+        lsu_.type = ReqType::DemandStore;
+        break;
+      default:
+        lsu_.type = ReqType::SwPrefetch;
+        break;
+    }
+    if (inst.op == Opcode::Load) {
+        auto s = static_cast<unsigned>(inst.destSlot);
+        MTP_ASSERT(inst.destSlot >= 0, "load without a destination slot");
+        MTP_ASSERT(warp.outstanding[s] + lsu_.txns.size() <= 255,
+                   "scoreboard counter overflow");
+        warp.outstanding[s] += static_cast<std::uint8_t>(lsu_.txns.size());
+        warp.relaxedSlot[s] = inst.regPrefetch;
+    }
+}
+
+void
+Core::runHwPrefetcher(Cycle now)
+{
+    if (!prefetcher_)
+        return;
+    const Warp &warp = warps_[lsu_.warpIdx];
+    PrefObservation obs{lsu_.pc, lsu_.warpIdx, warp.globalWid,
+                        lsu_.leadAddr, &lsu_.txns};
+    prefScratch_.clear();
+    prefetcher_->observe(obs, prefScratch_);
+    // Prefetches inherit the triggering access's transaction
+    // granularity: a sparse (32 B) demand stream is prefetched as
+    // sparse segments, not full blocks.
+    std::uint16_t bytes =
+        lsu_.txns.empty() ? blockBytes : lsu_.txns.front().bytes;
+    for (Addr addr : prefScratch_)
+        issuePrefetch(addr, ReqType::HwPrefetch, now, bytes);
+}
+
+void
+Core::issuePrefetch(Addr blockAddr, ReqType type, Cycle now,
+                    std::uint16_t bytes)
+{
+    if (throttle_ && throttle_->shouldDrop()) {
+        ++counters_.hwPrefDroppedThrottle;
+        return;
+    }
+    if (lateThrottle_ && lateThrottle_->shouldDrop()) {
+        ++counters_.hwPrefDroppedThrottle;
+        return;
+    }
+    if (prefCache_.contains(blockAddr)) {
+        ++counters_.hwPrefDroppedResident;
+        return;
+    }
+    if (mshr_.prefetchFull() || mem_->mrq(id_).full()) {
+        ++counters_.hwPrefDroppedMrqFull;
+        return;
+    }
+    if (mshr_.prefetchAccess(blockAddr, now)) {
+        ++counters_.hwPrefDroppedResident;
+        return;
+    }
+    bool ok = mem_->issue(id_, blockAddr, type, now, bytes);
+    MTP_ASSERT(ok, "MRQ rejected a gated hardware prefetch");
+    ++counters_.hwPrefIssued;
+}
+
+void
+Core::issue(Cycle now)
+{
+    if (execBusyUntil_ > now)
+        return;
+    const auto n = static_cast<std::uint32_t>(warps_.size());
+    if (n == 0)
+        return;
+    // Greedy-then-round-robin: keep issuing from the current warp until
+    // it stalls (Table II: "executes instructions from one warp,
+    // switching to another warp if source operands are not ready").
+    // The pure round-robin ablation always moves to the next warp.
+    std::uint32_t first = cfg_.schedGreedy ? lastIssued_ : lastIssued_ + 1;
+    for (std::uint32_t k = 0; k < n; ++k) {
+        std::uint32_t idx = (first + k) % n;
+        Warp &warp = warps_[idx];
+        if (!warp.active || warp.cursor.done() || warp.readyAt > now)
+            continue;
+        const StaticInst &inst = warp.cursor.inst();
+        if (!warp.depsReady(inst))
+            continue;
+        if (inst.destSlot >= 0) {
+            // No register renaming: a second write to a slot waits,
+            // except the one-deep pipelining of binding prefetches.
+            auto s = static_cast<unsigned>(inst.destSlot);
+            unsigned waw_limit = inst.regPrefetch ? 1 : 0;
+            if (warp.outstanding[s] > waw_limit)
+                continue;
+        }
+        bool is_mem = isMemOp(inst.op) && !cfg_.perfectMemory;
+        if (is_mem && lsu_.valid)
+            continue; // LSU structural hazard
+
+        // Issue.
+        Cycle occ = occupancy(inst);
+        execBusyUntil_ = now + occ;
+        warp.readyAt = now + occ;
+        if (inst.op == Opcode::Branch)
+            warp.readyAt += cfg_.decodeCycles;
+
+        ++counters_.warpInstsIssued;
+        ++counters_.issueCycles;
+        switch (inst.op) {
+          case Opcode::Load:
+          case Opcode::Store:
+            ++counters_.memInsts;
+            break;
+          case Opcode::Prefetch:
+            ++counters_.prefInsts;
+            break;
+          case Opcode::Branch:
+            ++counters_.branchInsts;
+            break;
+          default:
+            ++counters_.compInsts;
+            break;
+        }
+
+        if (is_mem)
+            startMemInst(inst, idx, now);
+
+        warp.cursor.advance();
+        lastIssued_ = idx;
+        return;
+    }
+}
+
+void
+Core::retireWarps()
+{
+    for (std::uint32_t idx = 0; idx < warps_.size(); ++idx) {
+        Warp &warp = warps_[idx];
+        if (!warp.retirable())
+            continue;
+        if (lsu_.valid && lsu_.warpIdx == idx)
+            continue; // trailing stores/prefetches still at the LSU
+        warp.active = false;
+        ++counters_.warpsCompleted;
+        unsigned slot = idx / kernel_->warpsPerBlock;
+        MTP_ASSERT(blockRemaining_[slot] > 0, "retire underflow");
+        if (--blockRemaining_[slot] == 0) {
+            MTP_ASSERT(activeBlocks_ > 0, "block accounting underflow");
+            --activeBlocks_;
+            ++counters_.blocksCompleted;
+        }
+    }
+}
+
+void
+Core::periodUpdate(Cycle now)
+{
+    if (now < nextPeriodAt_)
+        return;
+    nextPeriodAt_ = now + cfg_.throttlePeriod;
+
+    const auto &pc = prefCache_.counters();
+    const auto &mshr = mshr_.counters();
+
+    if (throttle_) {
+        ThrottleEngine::Snapshot snap;
+        snap.earlyEvictions = pc.earlyEvictions;
+        snap.useful = pc.useful;
+        snap.fills = pc.fills;
+        snap.merges = mshr.merges;
+        snap.totalRequests = mshr.totalRequests;
+        snap.prefCacheHits = pc.demandHits;
+        throttle_->updatePeriod(snap);
+    }
+
+    if (prefetcher_ || lateThrottle_) {
+        std::uint64_t d_fills = pc.fills - lastFeedbackPc_.fills;
+        std::uint64_t d_useful = pc.useful - lastFeedbackPc_.useful;
+        std::uint64_t d_late =
+            mshr.demandIntoPref - lastFeedbackMshr_.demandIntoPref;
+        lastFeedbackPc_ = pc;
+        lastFeedbackMshr_ = mshr;
+        if (d_fills > 0) {
+            double acc = static_cast<double>(d_useful) /
+                         static_cast<double>(d_fills);
+            double late = static_cast<double>(d_late) /
+                          static_cast<double>(d_fills);
+            if (prefetcher_)
+                prefetcher_->feedback(acc, late);
+            if (lateThrottle_)
+                lateThrottle_->updatePeriod(late);
+        }
+    }
+}
+
+void
+Core::exportStats(StatSet &set, const std::string &prefix) const
+{
+    set.add(prefix + ".warpInsts",
+            static_cast<double>(counters_.warpInstsIssued),
+            "warp instructions issued");
+    set.add(prefix + ".compInsts", static_cast<double>(counters_.compInsts),
+            "computational warp instructions");
+    set.add(prefix + ".memInsts", static_cast<double>(counters_.memInsts),
+            "demand memory warp instructions");
+    set.add(prefix + ".prefInsts", static_cast<double>(counters_.prefInsts),
+            "software prefetch warp instructions");
+    set.add(prefix + ".branchInsts",
+            static_cast<double>(counters_.branchInsts),
+            "branch warp instructions");
+    set.add(prefix + ".demandTxns",
+            static_cast<double>(counters_.demandTxns),
+            "demand transactions sent to memory");
+    set.add(prefix + ".prefCacheHitTxns",
+            static_cast<double>(counters_.prefCacheHitTxns),
+            "demand transactions served by the prefetch cache");
+    set.add(prefix + ".swPrefIssued",
+            static_cast<double>(counters_.swPrefTxnsIssued),
+            "software prefetch transactions sent to memory");
+    set.add(prefix + ".swPrefDroppedThrottle",
+            static_cast<double>(counters_.swPrefDroppedThrottle),
+            "software prefetches dropped by the throttle engine");
+    set.add(prefix + ".swPrefDroppedResident",
+            static_cast<double>(counters_.swPrefDroppedResident),
+            "software prefetches to already-resident blocks");
+    set.add(prefix + ".hwPrefIssued",
+            static_cast<double>(counters_.hwPrefIssued),
+            "hardware prefetches sent to memory");
+    set.add(prefix + ".hwPrefDroppedThrottle",
+            static_cast<double>(counters_.hwPrefDroppedThrottle),
+            "hardware prefetches dropped by throttling");
+    set.add(prefix + ".hwPrefDroppedResident",
+            static_cast<double>(counters_.hwPrefDroppedResident),
+            "hardware prefetches to already-resident blocks");
+    set.add(prefix + ".hwPrefDroppedMrqFull",
+            static_cast<double>(counters_.hwPrefDroppedMrqFull),
+            "hardware prefetches dropped on a full MRQ");
+    set.add(prefix + ".blocksCompleted",
+            static_cast<double>(counters_.blocksCompleted),
+            "thread blocks completed");
+    set.add(prefix + ".warpsCompleted",
+            static_cast<double>(counters_.warpsCompleted),
+            "warps completed");
+    set.add(prefix + ".maxActiveWarps",
+            static_cast<double>(maxActiveWarps_),
+            "peak concurrently-resident warps");
+    set.add(prefix + ".avgDemandLatency",
+            counters_.demandCount
+                ? static_cast<double>(counters_.demandLatencySum) /
+                      static_cast<double>(counters_.demandCount)
+                : 0.0,
+            "mean demand-load round trip in cycles");
+    demandLatencyHist_.exportTo(set, prefix + ".demandLatency",
+                                "demand round-trip distribution");
+    mshr_.exportStats(set, prefix + ".mshr");
+    prefCache_.exportStats(set, prefix + ".prefCache");
+    if (throttle_)
+        throttle_->exportStats(set, prefix + ".throttle");
+    if (prefetcher_)
+        prefetcher_->exportStats(set, prefix + ".hwPref");
+}
+
+} // namespace mtp

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * One SIMT core (streaming multiprocessor) of the baseline GPGPU
+ * (Fig. 1, Table II): in-order warp scheduler issuing one warp
+ * instruction per cycle onto 8-wide SIMD units (4-cycle occupancy per
+ * 32-thread warp; IMUL 16, FDIV 32), a 5-cycle stall-on-branch front
+ * end, an LSU that coalesces warp accesses and pushes one transaction
+ * per cycle into the MRQ, plus the prefetch machinery this paper adds:
+ * a prefetch cache, a hardware prefetcher and the throttle engine.
+ */
+
+#ifndef MTP_SIM_CORE_HH
+#define MTP_SIM_CORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/prefetcher.hh"
+#include "core/throttle.hh"
+#include "mem/mem_system.hh"
+#include "mem/mshr.hh"
+#include "mem/prefetch_cache.hh"
+#include "sim/warp.hh"
+
+namespace mtp {
+
+/** One GPGPU core. */
+class Core
+{
+  public:
+    /** Per-core statistics. */
+    struct Counters
+    {
+        std::uint64_t warpInstsIssued = 0;
+        std::uint64_t compInsts = 0;
+        std::uint64_t memInsts = 0;   //!< demand loads + stores
+        std::uint64_t prefInsts = 0;  //!< software prefetch instructions
+        std::uint64_t branchInsts = 0;
+        std::uint64_t demandTxns = 0; //!< demand transactions attempted
+        std::uint64_t prefCacheHitTxns = 0; //!< demand txns served by PC
+        std::uint64_t swPrefTxnsIssued = 0;
+        std::uint64_t swPrefDroppedThrottle = 0;
+        std::uint64_t swPrefDroppedResident = 0;
+        std::uint64_t hwPrefIssued = 0;
+        std::uint64_t hwPrefDroppedThrottle = 0;
+        std::uint64_t hwPrefDroppedResident = 0;
+        std::uint64_t hwPrefDroppedMrqFull = 0;
+        std::uint64_t issueCycles = 0; //!< cycles that issued an inst
+        std::uint64_t blocksCompleted = 0;
+        std::uint64_t warpsCompleted = 0;
+        std::uint64_t demandCount = 0;      //!< demand completions
+        std::uint64_t demandLatencySum = 0; //!< cycles, per waiter
+        std::uint64_t prefCount = 0;        //!< prefetch completions
+        std::uint64_t prefLatencySum = 0;   //!< cycles, per fill
+    };
+
+    /**
+     * @param cfg simulator configuration
+     * @param id this core's index
+     * @param kernel the (transformed) kernel being executed
+     * @param mem shared memory system
+     */
+    Core(const SimConfig &cfg, CoreId id, const KernelDesc *kernel,
+         MemSystem *mem);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** @return free thread-block slots (occupancy limit). */
+    bool hasBlockCapacity() const { return activeBlocks_ < maxBlocks_; }
+
+    /** Install the warps of grid block @p block into free warp slots. */
+    void dispatchBlock(BlockId block);
+
+    /** @return true iff no live warp or pending LSU work remains. */
+    bool idle() const;
+
+    /** Number of live warps. */
+    unsigned activeWarps() const;
+
+    /** Peak concurrently-resident warps seen so far. */
+    unsigned maxActiveWarps() const { return maxActiveWarps_; }
+
+    const Counters &counters() const { return counters_; }
+    const Mshr &mshr() const { return mshr_; }
+    const PrefetchCache &prefCache() const { return prefCache_; }
+    const ThrottleEngine *throttle() const { return throttle_.get(); }
+    const HwPrefetcher *prefetcher() const { return prefetcher_.get(); }
+
+    /** Export core + prefetch machinery stats under "<prefix>.". */
+    void exportStats(StatSet &set, const std::string &prefix) const;
+
+  private:
+    /** Occupancy in cycles of one warp instruction. */
+    Cycle occupancy(const StaticInst &inst) const;
+
+    /** Deliver returned memory responses to scoreboards/prefetch cache. */
+    void drainCompletions(Cycle now);
+
+    /** Push pending LSU transactions into the MRQ (1/cycle). */
+    void processLsu(Cycle now);
+
+    /** Pick and issue one ready warp instruction. */
+    void issue(Cycle now);
+
+    /** Begin LSU processing of a just-issued memory instruction. */
+    void startMemInst(const StaticInst &inst, std::uint32_t warpIdx,
+                      Cycle now);
+
+    /** Run the hardware prefetcher on a completed demand observation. */
+    void runHwPrefetcher(Cycle now);
+
+    /** Issue one prefetch block address (throttles + dedup + MRQ). */
+    void issuePrefetch(Addr blockAddr, ReqType type, Cycle now,
+                       std::uint16_t bytes = blockBytes);
+
+    /** Retire finished warps, free block slots. */
+    void retireWarps();
+
+    /** Periodic throttle / feedback updates. */
+    void periodUpdate(Cycle now);
+
+    const SimConfig &cfg_;
+    CoreId id_;
+    const KernelDesc *kernel_;
+    MemSystem *mem_;
+
+    unsigned maxBlocks_;
+    unsigned activeBlocks_ = 0;
+    unsigned maxActiveWarps_ = 0;
+    std::vector<Warp> warps_;
+    std::vector<std::uint32_t> blockRemaining_; //!< per warp-slot group
+    std::vector<BlockId> blockIds_;             //!< block per block slot
+    std::uint32_t lastIssued_ = 0; //!< round-robin pointer
+
+    Cycle execBusyUntil_ = 0;
+
+    /** In-progress warp memory instruction at the LSU. */
+    struct LsuOp
+    {
+        std::vector<MemTxn> txns;
+        std::size_t next = 0;
+        ReqType type = ReqType::DemandLoad;
+        std::uint32_t warpIdx = 0;
+        std::int8_t slot = -1;
+        Pc pc = 0;
+        Addr leadAddr = 0;
+        bool valid = false;
+    };
+    LsuOp lsu_;
+
+    Mshr mshr_;
+    PrefetchCache prefCache_;
+    std::unique_ptr<HwPrefetcher> prefetcher_;
+    std::unique_ptr<ThrottleEngine> throttle_;
+    std::unique_ptr<LatenessThrottle> lateThrottle_;
+    std::vector<Addr> prefScratch_;
+
+    Cycle nextPeriodAt_;
+    PrefetchCache::Counters lastFeedbackPc_{};
+    Mshr::Counters lastFeedbackMshr_{};
+
+    /** Demand-load round-trip distribution (64 buckets to 4K cycles). */
+    Histogram demandLatencyHist_{0.0, 4096.0, 64};
+
+    Counters counters_;
+};
+
+} // namespace mtp
+
+#endif // MTP_SIM_CORE_HH

@@ -1,0 +1,171 @@
+#include "sim/gpu.hh"
+
+#include "common/log.hh"
+
+namespace mtp {
+
+Gpu::Gpu(const SimConfig &cfg, const KernelDesc &kernel)
+    : cfg_(cfg), kernel_(kernel)
+{
+    cfg_.validate();
+    if (!kernel_.finalized())
+        kernel_.finalize();
+    mem_ = std::make_unique<MemSystem>(cfg_);
+    cores_.reserve(cfg_.numCores);
+    for (CoreId c = 0; c < cfg_.numCores; ++c)
+        cores_.push_back(std::make_unique<Core>(cfg_, c, &kernel_,
+                                                mem_.get()));
+
+    // Contiguous block partitioning: core c executes a consecutive
+    // range of block ids, in order. Consecutive blocks therefore run
+    // consecutively in time on the same core — the locality
+    // inter-thread prefetching depends on (Sec. III-A2: an IP prefetch
+    // is wasted exactly when the target warp's block lands on a
+    // different core).
+    std::uint64_t blocks = kernel_.numBlocks;
+    unsigned n = cfg_.numCores;
+    nextBlockOfCore_.resize(n);
+    endBlockOfCore_.resize(n);
+    for (unsigned c = 0; c < n; ++c) {
+        nextBlockOfCore_[c] = blocks * c / n;
+        endBlockOfCore_[c] = blocks * (c + 1) / n;
+    }
+    if (!cfg_.dispatchContiguous) {
+        // Round-robin ablation: one shared cursor over the whole grid.
+        for (unsigned c = 0; c < n; ++c) {
+            nextBlockOfCore_[c] = 0;
+            endBlockOfCore_[c] = 0;
+        }
+        nextBlockOfCore_[0] = 0;
+        endBlockOfCore_[0] = blocks;
+    }
+}
+
+void
+Gpu::dispatchBlocks()
+{
+    if (!cfg_.dispatchContiguous) {
+        // Round-robin ablation: hand the globally next block to each
+        // core with a free slot, in core order.
+        for (CoreId c = 0; c < cores_.size(); ++c) {
+            if (nextBlockOfCore_[0] < endBlockOfCore_[0] &&
+                cores_[c]->hasBlockCapacity())
+                cores_[c]->dispatchBlock(nextBlockOfCore_[0]++);
+        }
+        return;
+    }
+    // Each core pulls the next block of its contiguous range (one
+    // dispatch per core per cycle).
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        if (nextBlockOfCore_[c] < endBlockOfCore_[c] &&
+            cores_[c]->hasBlockCapacity())
+            cores_[c]->dispatchBlock(nextBlockOfCore_[c]++);
+    }
+}
+
+void
+Gpu::step()
+{
+    dispatchBlocks();
+    for (auto &core : cores_)
+        core->tick(now_);
+    mem_->tick(now_);
+    if ((now_ & 127) == 0) {
+        for (auto &core : cores_) {
+            unsigned a = core->activeWarps();
+            if (a > 0) {
+                activeWarpSum_ += a;
+                ++activeWarpSamples_;
+            }
+        }
+    }
+    ++now_;
+}
+
+bool
+Gpu::done() const
+{
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        if (nextBlockOfCore_[c] < endBlockOfCore_[c])
+            return false;
+    }
+    for (const auto &core : cores_) {
+        if (!core->idle())
+            return false;
+    }
+    return mem_->drained();
+}
+
+RunResult
+Gpu::run()
+{
+    while (!done()) {
+        if (now_ >= cfg_.maxCycles)
+            MTP_FATAL("simulation of '", kernel_.name, "' exceeded ",
+                      cfg_.maxCycles, " cycles; likely deadlock or ",
+                      "an unreasonable configuration");
+        step();
+    }
+    return summarize();
+}
+
+RunResult
+Gpu::summarize() const
+{
+    RunResult r;
+    r.cycles = now_;
+    std::uint64_t demand_count = 0;
+    std::uint64_t demand_sum = 0;
+    std::uint64_t pref_count = 0;
+    std::uint64_t pref_sum = 0;
+    for (CoreId id = 0; id < cores_.size(); ++id) {
+        const auto &c = cores_[id]->counters();
+        r.warpInsts += c.warpInstsIssued;
+        r.prefCacheHits += c.prefCacheHitTxns;
+        r.demandTxns += c.demandTxns;
+        demand_count += c.demandCount;
+        demand_sum += c.demandLatencySum;
+        pref_count += c.prefCount;
+        pref_sum += c.prefLatencySum;
+        const auto &pc = cores_[id]->prefCache().counters();
+        r.prefFills += pc.fills;
+        r.prefUseful += pc.useful;
+        r.prefEarlyEvicted += pc.earlyEvictions;
+        r.prefLate += cores_[id]->mshr().counters().demandIntoPref;
+    }
+    r.cpi = r.warpInsts
+                ? static_cast<double>(r.cycles) * cfg_.numCores /
+                      static_cast<double>(r.warpInsts)
+                : 0.0;
+    r.avgDemandLatency =
+        demand_count ? static_cast<double>(demand_sum) / demand_count
+                     : 0.0;
+    r.avgPrefetchLatency =
+        pref_count ? static_cast<double>(pref_sum) / pref_count : 0.0;
+    r.dramBytes = mem_->dramBytes();
+    r.avgActiveWarps =
+        activeWarpSamples_
+            ? static_cast<double>(activeWarpSum_) / activeWarpSamples_
+            : 0.0;
+
+    r.stats.add("sim.cycles", static_cast<double>(r.cycles),
+                "total execution cycles");
+    r.stats.add("sim.warpInsts", static_cast<double>(r.warpInsts),
+                "warp instructions issued");
+    r.stats.add("sim.cpi", r.cpi, "per-core cycles per warp instruction");
+    r.stats.add("sim.avgActiveWarps", r.avgActiveWarps,
+                "mean resident warps per busy core");
+    for (CoreId c = 0; c < cores_.size(); ++c)
+        cores_[c]->exportStats(r.stats, "core" + std::to_string(c));
+    mem_->exportStats(r.stats, "mem");
+    return r;
+}
+
+RunResult
+simulate(const SimConfig &cfg, const KernelDesc &kernel)
+{
+    Gpu gpu(cfg, kernel);
+    return gpu.run();
+}
+
+} // namespace mtp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Top-level GPU: the block dispatcher, the cycle loop and the run
+ * summary every bench/example consumes.
+ */
+
+#ifndef MTP_SIM_GPU_HH
+#define MTP_SIM_GPU_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/mem_system.hh"
+#include "sim/core.hh"
+#include "trace/kernel.hh"
+
+namespace mtp {
+
+/** Summary of one kernel simulation. */
+struct RunResult
+{
+    Cycle cycles = 0;               //!< total execution cycles
+    std::uint64_t warpInsts = 0;    //!< warp instructions issued (all cores)
+    double cpi = 0.0;               //!< per-core cycles per warp instruction
+    double avgDemandLatency = 0.0;  //!< mean demand round trip (cycles)
+    double avgPrefetchLatency = 0.0; //!< mean prefetch round trip (cycles)
+    std::uint64_t dramBytes = 0;    //!< DRAM data-bus traffic
+    std::uint64_t prefFills = 0;    //!< prefetched blocks filled
+    std::uint64_t prefUseful = 0;   //!< prefetched blocks used
+    std::uint64_t prefEarlyEvicted = 0; //!< evicted before first use
+    std::uint64_t prefLate = 0;     //!< demands merged into prefetches
+    std::uint64_t prefCacheHits = 0; //!< demand txns served by pref. cache
+    std::uint64_t demandTxns = 0;   //!< demand transactions to memory
+    double avgActiveWarps = 0.0;    //!< mean resident warps per busy core
+    StatSet stats;                  //!< full hierarchical statistics
+
+    /** Prefetch accuracy: useful / fills (1 when no prefetching). */
+    double
+    accuracy() const
+    {
+        return prefFills ? static_cast<double>(prefUseful) / prefFills
+                         : 0.0;
+    }
+
+    /** Ratio of early prefetches: early evictions / fills. */
+    double
+    earlyRatio() const
+    {
+        return prefFills
+                   ? static_cast<double>(prefEarlyEvicted) / prefFills
+                   : 0.0;
+    }
+
+    /** Fraction of prefetches that were late: merged demand / fills. */
+    double
+    lateRatio() const
+    {
+        return prefFills ? static_cast<double>(prefLate) / prefFills : 0.0;
+    }
+
+    /** Fraction of demand transactions hitting the prefetch cache. */
+    double
+    prefCoverage() const
+    {
+        std::uint64_t total = prefCacheHits + demandTxns;
+        return total ? static_cast<double>(prefCacheHits) / total : 0.0;
+    }
+};
+
+/** The simulated GPU. */
+class Gpu
+{
+  public:
+    /**
+     * @param cfg simulator configuration (copied)
+     * @param kernel finalized kernel to execute (copied)
+     */
+    Gpu(const SimConfig &cfg, const KernelDesc &kernel);
+
+    // Cores hold references into this object; it must stay put.
+    Gpu(const Gpu &) = delete;
+    Gpu &operator=(const Gpu &) = delete;
+
+    /** Run the kernel to completion and return the summary. */
+    RunResult run();
+
+    /** Advance one cycle (exposed for fine-grained tests). */
+    void step();
+
+    /** @return true when all blocks completed and memory drained. */
+    bool done() const;
+
+    Cycle now() const { return now_; }
+    Core &core(CoreId id) { return *cores_[id]; }
+    MemSystem &mem() { return *mem_; }
+    const SimConfig &config() const { return cfg_; }
+
+  private:
+    /** Hand out grid blocks to cores with free occupancy slots. */
+    void dispatchBlocks();
+
+    /** Assemble the RunResult after the loop finishes. */
+    RunResult summarize() const;
+
+    SimConfig cfg_;
+    KernelDesc kernel_;
+    std::unique_ptr<MemSystem> mem_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<BlockId> nextBlockOfCore_; //!< per-core block cursor
+    std::vector<BlockId> endBlockOfCore_;  //!< per-core range end
+    Cycle now_ = 0;
+    std::uint64_t activeWarpSamples_ = 0;
+    std::uint64_t activeWarpSum_ = 0;
+};
+
+/** Convenience: construct, run, summarize. */
+RunResult simulate(const SimConfig &cfg, const KernelDesc &kernel);
+
+} // namespace mtp
+
+#endif // MTP_SIM_GPU_HH

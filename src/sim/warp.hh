@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Hardware warp state: the per-warp cursor into the kernel program plus
+ * the scoreboard that lets a warp run ahead of its own outstanding
+ * memory requests until a dependent instruction is reached (Sec. II-B1).
+ */
+
+#ifndef MTP_SIM_WARP_HH
+#define MTP_SIM_WARP_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "trace/kernel.hh"
+
+namespace mtp {
+
+/** One hardware warp slot of a core. */
+struct Warp
+{
+    WarpCursor cursor;        //!< position in the kernel program
+    GlobalWarpId globalWid = 0; //!< grid-wide warp id
+    std::uint64_t lane0Tid = 0; //!< global thread id of lane 0
+    BlockId block = 0;        //!< grid block this warp belongs to
+    Cycle readyAt = 0;        //!< earliest cycle the next inst may issue
+    bool active = false;      //!< slot holds a live warp
+
+    /** In-flight loads per value slot (scoreboard). */
+    std::array<std::uint8_t, numValueSlots> outstanding{};
+
+    /** Slots whose latest writer is a binding register prefetch. */
+    std::array<bool, numValueSlots> relaxedSlot{};
+
+    /** @return total in-flight loads of this warp. */
+    unsigned
+    outstandingTotal() const
+    {
+        unsigned n = 0;
+        for (auto v : outstanding)
+            n += v;
+        return n;
+    }
+
+    /**
+     * Scoreboard check: can @p inst issue now? A source slot blocks
+     * issue while it has outstanding writers, except that a consumer of
+     * a register-prefetched (binding, one-iteration-ahead) load
+     * tolerates a single in-flight writer — it consumes the value the
+     * previous iteration loaded.
+     */
+    bool
+    depsReady(const StaticInst &inst) const
+    {
+        for (auto s : inst.srcSlots) {
+            if (s < 0)
+                continue;
+            unsigned limit = relaxedSlot[static_cast<unsigned>(s)] ? 1 : 0;
+            if (outstanding[static_cast<unsigned>(s)] > limit)
+                return false;
+        }
+        return true;
+    }
+
+    /** @return true iff the warp finished its program and drained. */
+    bool
+    retirable() const
+    {
+        return active && cursor.done() && outstandingTotal() == 0;
+    }
+
+    /** Reset the slot for a fresh warp. */
+    void
+    assign(const KernelDesc *kernel, GlobalWarpId gwid, BlockId blk)
+    {
+        cursor = WarpCursor(kernel);
+        globalWid = gwid;
+        lane0Tid = gwid * warpSize;
+        block = blk;
+        readyAt = 0;
+        active = true;
+        outstanding.fill(0);
+        relaxedSlot.fill(false);
+    }
+};
+
+} // namespace mtp
+
+#endif // MTP_SIM_WARP_HH

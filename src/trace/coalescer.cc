@@ -1,0 +1,61 @@
+#include "trace/coalescer.hh"
+
+#include <algorithm>
+
+namespace mtp {
+
+namespace {
+
+/** Accumulate @p bytes touched within the block at @p addr. */
+void
+touch(std::vector<MemTxn> &out, Addr addr, unsigned bytes)
+{
+    for (auto &txn : out) {
+        if (txn.addr == addr) {
+            txn.bytes = static_cast<std::uint16_t>(
+                std::min<unsigned>(blockBytes, txn.bytes + bytes));
+            return;
+        }
+    }
+    out.push_back({addr, static_cast<std::uint16_t>(bytes)});
+}
+
+} // namespace
+
+void
+coalesceWarpAccess(const AddressPattern &pattern, std::uint64_t lane0Tid,
+                   std::uint64_t iter, std::vector<MemTxn> &out)
+{
+    out.clear();
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        Addr a = pattern.laneAddr(lane0Tid + lane, iter);
+        Addr first = blockAlign(a);
+        Addr last = blockAlign(a + pattern.elemBytes - 1);
+        if (first == last) {
+            touch(out, first, pattern.elemBytes);
+        } else {
+            // An element straddling a block boundary touches both.
+            unsigned head = static_cast<unsigned>(first + blockBytes - a);
+            touch(out, first, head);
+            touch(out, last, pattern.elemBytes - head);
+        }
+    }
+    // Sparse transactions move the minimum 32-byte segment; dense ones
+    // the full block.
+    for (auto &txn : out)
+        txn.bytes = txn.bytes <= minTxnBytes
+                        ? static_cast<std::uint16_t>(minTxnBytes)
+                        : static_cast<std::uint16_t>(blockBytes);
+}
+
+unsigned
+countWarpTransactions(const AddressPattern &pattern, std::uint64_t lane0Tid,
+                      std::uint64_t iter)
+{
+    std::vector<MemTxn> tmp;
+    tmp.reserve(warpSize);
+    coalesceWarpAccess(pattern, lane0Tid, iter, tmp);
+    return static_cast<unsigned>(tmp.size());
+}
+
+} // namespace mtp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Memory-access coalescing: collapses a warp's 32 lane addresses into
+ * the minimal set of cache-block transactions (Sec. II-B). Coalesced
+ * patterns yield 1-2 transactions per warp access; uncoalesced patterns
+ * yield up to 32. Sparse transactions (few lanes touching a block) are
+ * issued as 32-byte segments, matching the 8800GT-class minimum memory
+ * transaction size; dense transactions fetch the full 64-byte block.
+ */
+
+#ifndef MTP_TRACE_COALESCER_HH
+#define MTP_TRACE_COALESCER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/address_pattern.hh"
+
+namespace mtp {
+
+/** One block-aligned memory transaction of a warp access. */
+struct MemTxn
+{
+    Addr addr;           //!< block-aligned address
+    std::uint16_t bytes; //!< transfer size: 32 (sparse) or 64 (dense)
+};
+
+/** Smallest memory transaction the memory system issues. */
+inline constexpr unsigned minTxnBytes = 32;
+
+/**
+ * Compute the block-aligned transactions of one warp-level memory access.
+ *
+ * @param pattern address generator of the memory instruction
+ * @param lane0Tid global thread id of the warp's lane 0
+ * @param iter loop iteration the instruction executes in
+ * @param out receives unique transactions in first-touch order;
+ *            cleared first
+ */
+void coalesceWarpAccess(const AddressPattern &pattern,
+                        std::uint64_t lane0Tid, std::uint64_t iter,
+                        std::vector<MemTxn> &out);
+
+/** @return number of transactions without materializing them. */
+unsigned countWarpTransactions(const AddressPattern &pattern,
+                               std::uint64_t lane0Tid, std::uint64_t iter);
+
+} // namespace mtp
+
+#endif // MTP_TRACE_COALESCER_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Static (kernel) instruction model. A synthetic kernel is a short
+ * program of these; warps replay it lazily, which stands in for the
+ * paper's GPUOcelot-generated PTX traces.
+ */
+
+#ifndef MTP_TRACE_INSTRUCTION_HH
+#define MTP_TRACE_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "trace/address_pattern.hh"
+
+namespace mtp {
+
+/** Warp-instruction operation classes relevant to timing. */
+enum class Opcode : std::uint8_t
+{
+    Comp,     //!< generic ALU/FPU op: 4 cycles/warp occupancy
+    Imul,     //!< integer multiply: 16 cycles/warp
+    Fdiv,     //!< floating divide: 32 cycles/warp
+    Load,     //!< global-memory demand load
+    Store,    //!< global-memory store
+    Prefetch, //!< non-blocking software prefetch into the prefetch cache
+    Branch,   //!< control transfer: 5-cycle decode stall
+};
+
+/** @return true for opcodes that access global memory. */
+constexpr bool
+isMemOp(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::Store ||
+           op == Opcode::Prefetch;
+}
+
+/** Number of architectural "value slots" a warp tracks for dependences. */
+inline constexpr unsigned numValueSlots = 16;
+
+/**
+ * One static instruction of a synthetic kernel.
+ *
+ * Dependences are expressed through value slots: a Load writes destSlot
+ * when its last memory transaction completes; any instruction naming a
+ * slot in srcSlots cannot issue while that slot has an outstanding
+ * writer (in-order issue otherwise proceeds past pending loads, matching
+ * the baseline core of Sec. II-B).
+ */
+struct StaticInst
+{
+    Opcode op = Opcode::Comp;
+
+    /** Address generator; meaningful only for memory opcodes. */
+    AddressPattern pattern;
+
+    /** Value slot written by a Load (-1: none). */
+    std::int8_t destSlot = -1;
+
+    /** Value slots read before issue (-1: unused). */
+    std::array<std::int8_t, 2> srcSlots = {-1, -1};
+
+    /**
+     * Binding register prefetch (Ryoo et al.): consumers of destSlot may
+     * issue while the *current* instance is still in flight, i.e. they
+     * consume the value loaded one loop iteration earlier (software
+     * pipelining). Only meaningful on Load.
+     */
+    bool regPrefetch = false;
+
+    /**
+     * Repeat count: the instruction issues this many times back-to-back
+     * per loop iteration. Lets kernels express "N compute instructions"
+     * compactly; each repetition counts as one warp instruction.
+     */
+    std::uint16_t repeat = 1;
+
+    /**
+     * Software-prefetch transforms may target this load. Workloads
+     * clear it for loads a programmer could not profitably prefetch.
+     */
+    bool swPrefetchable = true;
+
+    /** Unique static PC, assigned by KernelDesc::finalize(). */
+    Pc pc = 0;
+
+    // ---- convenience constructors -----------------------------------
+
+    /** @return @p n generic compute instructions. */
+    static StaticInst
+    comp(unsigned n = 1)
+    {
+        StaticInst i;
+        i.op = Opcode::Comp;
+        i.repeat = static_cast<std::uint16_t>(n);
+        return i;
+    }
+
+    /** @return @p n compute instructions consuming slots a (and b). */
+    static StaticInst
+    compUse(int a, int b = -1, unsigned n = 1)
+    {
+        StaticInst i = comp(n);
+        i.srcSlots = {static_cast<std::int8_t>(a),
+                      static_cast<std::int8_t>(b)};
+        return i;
+    }
+
+    /** @return an integer-multiply instruction (optionally using slots). */
+    static StaticInst
+    imul(int a = -1, int b = -1)
+    {
+        StaticInst i;
+        i.op = Opcode::Imul;
+        i.srcSlots = {static_cast<std::int8_t>(a),
+                      static_cast<std::int8_t>(b)};
+        return i;
+    }
+
+    /** @return an FP-divide instruction (optionally using slots). */
+    static StaticInst
+    fdiv(int a = -1, int b = -1)
+    {
+        StaticInst i;
+        i.op = Opcode::Fdiv;
+        i.srcSlots = {static_cast<std::int8_t>(a),
+                      static_cast<std::int8_t>(b)};
+        return i;
+    }
+
+    /** @return a load writing @p dest with addresses from @p pat. */
+    static StaticInst
+    load(const AddressPattern &pat, int dest)
+    {
+        StaticInst i;
+        i.op = Opcode::Load;
+        i.pattern = pat;
+        i.destSlot = static_cast<std::int8_t>(dest);
+        return i;
+    }
+
+    /** @return a store of slot @p src with addresses from @p pat. */
+    static StaticInst
+    store(const AddressPattern &pat, int src = -1)
+    {
+        StaticInst i;
+        i.op = Opcode::Store;
+        i.pattern = pat;
+        i.srcSlots = {static_cast<std::int8_t>(src), -1};
+        return i;
+    }
+
+    /** @return a software prefetch of @p pat (non-binding, no slot). */
+    static StaticInst
+    prefetch(const AddressPattern &pat)
+    {
+        StaticInst i;
+        i.op = Opcode::Prefetch;
+        i.pattern = pat;
+        return i;
+    }
+
+    /** @return a branch (loop back-edge / divergence point). */
+    static StaticInst
+    branch()
+    {
+        StaticInst i;
+        i.op = Opcode::Branch;
+        return i;
+    }
+};
+
+} // namespace mtp
+
+#endif // MTP_TRACE_INSTRUCTION_HH

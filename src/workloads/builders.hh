@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Internal declarations shared by the per-class benchmark builder
+ * translation units. Not part of the public API.
+ */
+
+#ifndef MTP_WORKLOADS_BUILDERS_HH
+#define MTP_WORKLOADS_BUILDERS_HH
+
+#include <cstdint>
+
+#include "workloads/workload.hh"
+
+namespace mtp {
+namespace workloads {
+
+/**
+ * Base address of array @p arrayIdx of benchmark @p benchSalt. Arrays
+ * are spaced 256 MB apart so streams never collide.
+ */
+constexpr Addr
+arrayBase(unsigned benchSalt, unsigned arrayIdx)
+{
+    return 0x1000'0000ULL +
+           (static_cast<Addr>(benchSalt) * 16 + arrayIdx) * 0x1000'0000ULL;
+}
+
+/**
+ * Scale a grid's block count down by @p scaleDiv, keeping at least
+ * three dispatch waves on a 14-core machine so steady-state behaviour
+ * is preserved.
+ */
+std::uint64_t scaledBlocks(std::uint64_t paper_blocks, unsigned scaleDiv,
+                           unsigned maxBlocksPerCore);
+
+/** A coalesced pattern: 4-byte elements, optional per-iteration stride. */
+AddressPattern coalesced(Addr base, Stride iterStride = 0);
+
+/**
+ * An uncoalesced pattern: each lane @p laneStride bytes apart, so one
+ * warp access touches up to 32 distinct blocks.
+ */
+AddressPattern uncoalesced(Addr base, Stride laneStride,
+                           Stride iterStride = 0);
+
+/**
+ * A data-dependent pattern: like uncoalesced() but a fraction of lane
+ * addresses scatters pseudo-randomly over @p span bytes.
+ */
+AddressPattern scattered(Addr base, Stride laneStride, double frac,
+                         Addr span, std::uint64_t salt);
+
+// Builders, one per benchmark (Tables III and IV). Each returns the
+// fully-described baseline workload at grid scale 1/scaleDiv.
+Workload buildBlack(unsigned scaleDiv);
+Workload buildConv(unsigned scaleDiv);
+Workload buildMersenne(unsigned scaleDiv);
+Workload buildMonte(unsigned scaleDiv);
+Workload buildPns(unsigned scaleDiv);
+Workload buildScalar(unsigned scaleDiv);
+Workload buildStream(unsigned scaleDiv);
+
+Workload buildBackprop(unsigned scaleDiv);
+Workload buildCell(unsigned scaleDiv);
+Workload buildOcean(unsigned scaleDiv);
+
+Workload buildBfs(unsigned scaleDiv);
+Workload buildCfd(unsigned scaleDiv);
+Workload buildLinear(unsigned scaleDiv);
+Workload buildSepia(unsigned scaleDiv);
+
+Workload buildBinomial(unsigned scaleDiv);
+Workload buildDwtHaar1d(unsigned scaleDiv);
+Workload buildEigenvalue(unsigned scaleDiv);
+Workload buildGaussian(unsigned scaleDiv);
+Workload buildHistogram(unsigned scaleDiv);
+Workload buildLeukocyte(unsigned scaleDiv);
+Workload buildMatrix(unsigned scaleDiv);
+Workload buildMriFhd(unsigned scaleDiv);
+Workload buildMriQ(unsigned scaleDiv);
+Workload buildNbody(unsigned scaleDiv);
+Workload buildQuasirandom(unsigned scaleDiv);
+Workload buildSad(unsigned scaleDiv);
+
+} // namespace workloads
+} // namespace mtp
+
+#endif // MTP_WORKLOADS_BUILDERS_HH

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * The twelve non-memory-intensive benchmarks of Table IV. Their CPIs
+ * sit close to the perfect-memory CPI, so neither hardware prefetching
+ * nor a perfect memory moves them much — the property the table
+ * documents. All share a compute-loop template with a low
+ * memory-instruction density.
+ */
+
+#include "workloads/builders.hh"
+
+namespace mtp {
+namespace workloads {
+
+namespace {
+
+/** Template for a compute-bound kernel. */
+struct ComputeSpec
+{
+    unsigned warpsPerBlock = 8;
+    std::uint64_t blocks = 256;
+    unsigned maxBlocksPerCore = 3;
+    unsigned trips = 8;       //!< loop iterations
+    unsigned compPerIter = 24; //!< plain ALU instructions per iteration
+    unsigned imulPerIter = 1;
+    unsigned fdivPerIter = 0;
+    unsigned loadEvery = 1;   //!< one strided load per iteration
+    Stride iterStride = 4096;
+    unsigned benchSalt = 16;
+};
+
+KernelDesc
+computeKernel(const std::string &name, const ComputeSpec &s,
+              unsigned scaleDiv)
+{
+    KernelDesc k;
+    k.name = name;
+    k.warpsPerBlock = s.warpsPerBlock;
+    k.numBlocks = scaledBlocks(s.blocks, scaleDiv, s.maxBlocksPerCore);
+    k.maxBlocksPerCore = s.maxBlocksPerCore;
+
+    Segment preamble;
+    preamble.insts.push_back(StaticInst::comp(2));
+    preamble.insts.push_back(
+        StaticInst::load(coalesced(arrayBase(s.benchSalt, 0)), 0));
+    k.segments.push_back(preamble);
+
+    Segment loop;
+    loop.trips = s.trips;
+    if (s.loadEvery > 0) {
+        loop.insts.push_back(StaticInst::load(
+            coalesced(arrayBase(s.benchSalt, 1), s.iterStride), 1));
+    }
+    loop.insts.push_back(StaticInst::compUse(0, 1, s.compPerIter));
+    for (unsigned i = 0; i < s.imulPerIter; ++i)
+        loop.insts.push_back(StaticInst::imul(1));
+    for (unsigned i = 0; i < s.fdivPerIter; ++i)
+        loop.insts.push_back(StaticInst::fdiv(1));
+    loop.insts.push_back(StaticInst::branch());
+    k.segments.push_back(loop);
+
+    Segment epilogue;
+    epilogue.insts.push_back(
+        StaticInst::store(coalesced(arrayBase(s.benchSalt, 2)), 1));
+    k.segments.push_back(epilogue);
+
+    k.finalize();
+    return k;
+}
+
+Workload
+makeCompute(const std::string &name, const std::string &suite,
+            double base_cpi, double pmem_cpi, double hwp_cpi,
+            const ComputeSpec &s, unsigned scaleDiv)
+{
+    WorkloadInfo info;
+    info.name = name;
+    info.suite = suite;
+    info.type = WorkloadType::Compute;
+    info.paperBaseCpi = base_cpi;
+    info.paperPmemCpi = pmem_cpi;
+    info.paperHwpCpi = hwp_cpi;
+    info.paperWarps = s.blocks * s.warpsPerBlock;
+    info.paperBlocks = s.blocks;
+    return {info, computeKernel(name, s, scaleDiv)};
+}
+
+} // namespace
+
+Workload
+buildBinomial(unsigned scaleDiv)
+{
+    ComputeSpec s{};
+    s.benchSalt = 16;
+    s.trips = 12;
+    s.compPerIter = 28;
+    return makeCompute("binomial", "sdk", 4.29, 4.27, 4.25, s, scaleDiv);
+}
+
+Workload
+buildDwtHaar1d(unsigned scaleDiv)
+{
+    ComputeSpec s{};
+    s.benchSalt = 17;
+    s.trips = 6;
+    s.compPerIter = 20;
+    s.imulPerIter = 1;
+    return makeCompute("dwthaar1d", "sdk", 4.6, 4.37, 4.45, s, scaleDiv);
+}
+
+Workload
+buildEigenvalue(unsigned scaleDiv)
+{
+    ComputeSpec s{};
+    s.benchSalt = 18;
+    s.trips = 16;
+    s.compPerIter = 30;
+    s.imulPerIter = 0;
+    return makeCompute("eigenvalue", "sdk", 4.73, 4.72, 4.73, s,
+                       scaleDiv);
+}
+
+Workload
+buildGaussian(unsigned scaleDiv)
+{
+    // Slightly memory-sensitive (Table IV: 6.36 base vs 4.18 PMEM).
+    ComputeSpec s{};
+    s.benchSalt = 19;
+    s.trips = 8;
+    s.compPerIter = 10;
+    s.warpsPerBlock = 4;
+    s.maxBlocksPerCore = 2;
+    return makeCompute("gaussian", "rodinia", 6.36, 4.18, 5.94, s,
+                       scaleDiv);
+}
+
+Workload
+buildHistogram(unsigned scaleDiv)
+{
+    // Elevated PMEM CPI (5.17): multiply-heavy binning.
+    ComputeSpec s{};
+    s.benchSalt = 20;
+    s.trips = 8;
+    s.compPerIter = 10;
+    s.imulPerIter = 3;
+    return makeCompute("histogram", "sdk", 6.29, 5.17, 6.31, s, scaleDiv);
+}
+
+Workload
+buildLeukocyte(unsigned scaleDiv)
+{
+    ComputeSpec s{};
+    s.benchSalt = 21;
+    s.trips = 10;
+    s.compPerIter = 32;
+    return makeCompute("leukocyte", "rodinia", 4.23, 4.2, 4.23, s,
+                       scaleDiv);
+}
+
+Workload
+buildMatrix(unsigned scaleDiv)
+{
+    ComputeSpec s{};
+    s.benchSalt = 22;
+    s.trips = 8;
+    s.compPerIter = 16;
+    s.imulPerIter = 1;
+    return makeCompute("matrix", "sdk", 5.14, 4.14, 4.98, s, scaleDiv);
+}
+
+Workload
+buildMriFhd(unsigned scaleDiv)
+{
+    ComputeSpec s{};
+    s.benchSalt = 23;
+    s.trips = 12;
+    s.compPerIter = 26;
+    return makeCompute("mri-fhd", "parboil", 4.36, 4.26, 4.33, s,
+                       scaleDiv);
+}
+
+Workload
+buildMriQ(unsigned scaleDiv)
+{
+    ComputeSpec s{};
+    s.benchSalt = 24;
+    s.trips = 12;
+    s.compPerIter = 28;
+    return makeCompute("mri-q", "parboil", 4.31, 4.23, 4.31, s, scaleDiv);
+}
+
+Workload
+buildNbody(unsigned scaleDiv)
+{
+    ComputeSpec s{};
+    s.benchSalt = 25;
+    s.trips = 16;
+    s.compPerIter = 24;
+    s.fdivPerIter = 1;
+    return makeCompute("nbody", "sdk", 4.72, 4.54, 4.72, s, scaleDiv);
+}
+
+Workload
+buildQuasirandom(unsigned scaleDiv)
+{
+    ComputeSpec s{};
+    s.benchSalt = 26;
+    s.trips = 20;
+    s.compPerIter = 30;
+    s.loadEvery = 0;
+    return makeCompute("quasirandom", "sdk", 4.12, 4.12, 4.12, s,
+                       scaleDiv);
+}
+
+Workload
+buildSad(unsigned scaleDiv)
+{
+    ComputeSpec s{};
+    s.benchSalt = 27;
+    s.trips = 8;
+    s.compPerIter = 14;
+    s.imulPerIter = 2;
+    return makeCompute("sad", "rodinia", 5.28, 4.17, 5.18, s, scaleDiv);
+}
+
+} // namespace workloads
+} // namespace mtp

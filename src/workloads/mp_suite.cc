@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The three mp-type (massively parallel) benchmarks of Table III:
+ * enormous grids of loop-free threads, each touching only a few
+ * elements. There is no place to put conventional (intra-thread)
+ * prefetches — these are the benchmarks inter-thread prefetching was
+ * designed for (Sec. III-A2).
+ */
+
+#include "workloads/builders.hh"
+
+namespace mtp {
+namespace workloads {
+
+namespace {
+
+/** Common shape of an mp-type kernel: one straight-line segment. */
+struct MpSpec
+{
+    unsigned warpsPerBlock;
+    std::uint64_t blocks;
+    unsigned maxBlocksPerCore;
+    unsigned loads;       //!< coalesced loads (slots 0..n-1)
+    bool chainLoads;      //!< each load depends on the previous one
+    unsigned loadElem;    //!< bytes per lane per load
+    Stride loadLaneStride; //!< 0: coalesced; else bytes between lanes
+    unsigned compPre;     //!< ALU work before the loads (index math)
+    unsigned compPost;    //!< ALU work consuming the loaded values
+    unsigned imuls;       //!< 16-cycle multiplies after the loads
+    bool store;           //!< write the per-thread result
+    unsigned storeElem;   //!< bytes per lane for the store
+    unsigned benchSalt;
+};
+
+KernelDesc
+mpKernel(const std::string &name, const MpSpec &s, unsigned scaleDiv)
+{
+    KernelDesc k;
+    k.name = name;
+    k.warpsPerBlock = s.warpsPerBlock;
+    k.numBlocks = scaledBlocks(s.blocks, scaleDiv, s.maxBlocksPerCore);
+    k.maxBlocksPerCore = s.maxBlocksPerCore;
+
+    Segment body;
+    body.insts.push_back(StaticInst::comp(s.compPre));
+    for (unsigned l = 0; l < s.loads; ++l) {
+        AddressPattern p = coalesced(arrayBase(s.benchSalt, l));
+        p.elemBytes = s.loadElem;
+        p.threadStride =
+            s.loadLaneStride ? s.loadLaneStride : s.loadElem;
+        StaticInst ld = StaticInst::load(p, static_cast<int>(l));
+        if (s.chainLoads && l > 0)
+            ld.srcSlots = {static_cast<std::int8_t>(l - 1), -1};
+        body.insts.push_back(ld);
+    }
+    int src_b = s.loads > 1 ? static_cast<int>(s.loads) - 1 : -1;
+    body.insts.push_back(StaticInst::compUse(0, src_b, s.compPost));
+    for (unsigned i = 0; i < s.imuls; ++i)
+        body.insts.push_back(StaticInst::imul(0));
+    if (s.store) {
+        AddressPattern st = coalesced(arrayBase(s.benchSalt, 8));
+        st.elemBytes = s.storeElem;
+        st.threadStride = s.storeElem;
+        body.insts.push_back(StaticInst::store(st, 0));
+    }
+    k.segments.push_back(body);
+    k.finalize();
+    return k;
+}
+
+WorkloadInfo
+mpInfo(const std::string &name, const std::string &suite, double base_cpi,
+       double pmem_cpi, std::uint64_t warps, std::uint64_t blocks,
+       unsigned del_ip, unsigned warps_per_block)
+{
+    WorkloadInfo info;
+    info.name = name;
+    info.suite = suite;
+    info.type = WorkloadType::Mp;
+    info.paperBaseCpi = base_cpi;
+    info.paperPmemCpi = pmem_cpi;
+    info.paperWarps = warps;
+    info.paperBlocks = blocks;
+    info.paperDelinquentStride = 0;
+    info.paperDelinquentIp = del_ip;
+    // Inter-thread prefetches target the corresponding warp one block
+    // ahead (tid + blockDim), which runs next on the same core.
+    info.swpOpts.ipDistanceWarps = warps_per_block;
+    return info;
+}
+
+} // namespace
+
+Workload
+buildBackprop(unsigned scaleDiv)
+{
+    // Rodinia backprop: layer-weight updates. Each thread walks the
+    // connection list: node -> weight -> delta lookups chain through
+    // indices (Table III counts five IP-delinquent loads), so per-warp
+    // MLP is 1 and the baseline is badly latency-bound.
+    MpSpec s{};
+    s.warpsPerBlock = 8;
+    s.blocks = 2048;
+    s.maxBlocksPerCore = 2;
+    s.loads = 5;
+    s.chainLoads = true;
+    s.loadElem = 2;
+    s.loadLaneStride = 0;
+    s.compPre = 1;
+    s.compPost = 5;
+    s.imuls = 0;
+    s.store = true;
+    s.storeElem = 2;
+    s.benchSalt = 7;
+    return {mpInfo("backprop", "rodinia", 21.47, 4.16, 16384, 2048, 5, 8),
+            mpKernel("backprop", s, scaleDiv)};
+}
+
+Workload
+buildCell(unsigned scaleDiv)
+{
+    // Rodinia cell (Leukocyte tracking stage): one load per thread but
+    // a comparatively fat compute tail.
+    MpSpec s{};
+    s.warpsPerBlock = 16;
+    s.blocks = 1331;
+    s.maxBlocksPerCore = 1;
+    s.loads = 1;
+    s.chainLoads = false;
+    s.loadElem = 4;
+    s.loadLaneStride = 0;
+    s.compPre = 2;
+    s.compPost = 12;
+    s.imuls = 1;
+    s.store = true;
+    s.storeElem = 4;
+    s.benchSalt = 8;
+    return {mpInfo("cell", "rodinia", 8.81, 4.19, 21296, 1331, 1, 16),
+            mpKernel("cell", s, scaleDiv)};
+}
+
+Workload
+buildOcean(unsigned scaleDiv)
+{
+    // oceanFFT surface update: a huge grid of two-warp blocks doing a
+    // transposed (power-of-two strided) read — every lane of a warp
+    // lands in the same DRAM channel, serializing on two banks. The
+    // most memory-bound mp benchmark, and one prefetching cannot fix
+    // (the paper observes IP slightly degrades it).
+    MpSpec s{};
+    s.warpsPerBlock = 2;
+    s.blocks = 16384;
+    s.maxBlocksPerCore = 8;
+    s.loads = 1;
+    s.chainLoads = false;
+    s.loadElem = 4;
+    s.loadLaneStride = 16448; // FFT transpose: row-pitch strided
+    s.compPre = 1;
+    s.compPost = 2;
+    s.imuls = 0;
+    s.store = true;
+    s.storeElem = 4;
+    s.benchSalt = 9;
+    return {mpInfo("ocean", "sdk", 62.63, 4.19, 32768, 16384, 1, 2),
+            mpKernel("ocean", s, scaleDiv)};
+}
+
+} // namespace workloads
+} // namespace mtp

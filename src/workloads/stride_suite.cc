@@ -1,0 +1,289 @@
+/**
+ * @file
+ * The seven stride-type benchmarks of Table III. All have loops whose
+ * loads advance by a constant per-thread stride each iteration, which
+ * is what stride software prefetching and PC-based hardware stride
+ * prefetchers exploit. Several chain their loads (index -> data
+ * lookups), which is what keeps their baselines latency-bound — the
+ * regime the paper's Sec. IV identifies as the prefetching opportunity.
+ */
+
+#include "workloads/builders.hh"
+
+namespace mtp {
+namespace workloads {
+
+namespace {
+
+/**
+ * Common shape of a stride-type kernel: preamble, a loop of loads /
+ * compute / store / back-edge branch, and a result-store epilogue.
+ */
+struct StrideSpec
+{
+    unsigned warpsPerBlock;
+    std::uint64_t blocks;
+    unsigned maxBlocksPerCore;
+    unsigned trips;        //!< loop iterations per thread
+    unsigned loads;        //!< strided loads per iteration (slots 0..n-1)
+    bool chainLoads;       //!< each load depends on the previous one
+    unsigned loadElem;     //!< bytes per lane per load
+    unsigned compPerIter;  //!< plain ALU instructions per iteration
+    unsigned imulPerIter;  //!< 16-cycle multiplies per iteration
+    unsigned fdivPerIter;  //!< 32-cycle divides per iteration
+    bool storePerIter;     //!< streaming store inside the loop
+    unsigned storeElem;    //!< bytes per lane for the store
+    Stride iterStride;     //!< bytes each load advances per iteration
+    unsigned benchSalt;    //!< array address namespace
+};
+
+KernelDesc
+strideKernel(const std::string &name, const StrideSpec &s,
+             unsigned scaleDiv)
+{
+    KernelDesc k;
+    k.name = name;
+    k.warpsPerBlock = s.warpsPerBlock;
+    k.numBlocks = scaledBlocks(s.blocks, scaleDiv, s.maxBlocksPerCore);
+    k.maxBlocksPerCore = s.maxBlocksPerCore;
+
+    Segment preamble;
+    preamble.insts.push_back(StaticInst::comp(2));
+    k.segments.push_back(preamble);
+
+    Segment loop;
+    loop.trips = s.trips;
+    for (unsigned l = 0; l < s.loads; ++l) {
+        AddressPattern p = coalesced(arrayBase(s.benchSalt, l),
+                                     s.iterStride);
+        p.elemBytes = s.loadElem;
+        p.threadStride = s.loadElem;
+        StaticInst ld = StaticInst::load(p, static_cast<int>(l));
+        if (s.chainLoads && l > 0)
+            ld.srcSlots = {static_cast<std::int8_t>(l - 1), -1};
+        loop.insts.push_back(ld);
+    }
+    int src_b = s.loads > 1 ? static_cast<int>(s.loads) - 1 : -1;
+    loop.insts.push_back(StaticInst::compUse(0, src_b, s.compPerIter));
+    for (unsigned i = 0; i < s.imulPerIter; ++i)
+        loop.insts.push_back(StaticInst::imul(0));
+    for (unsigned i = 0; i < s.fdivPerIter; ++i)
+        loop.insts.push_back(StaticInst::fdiv(0));
+    if (s.storePerIter) {
+        AddressPattern st = coalesced(arrayBase(s.benchSalt, 8),
+                                      s.iterStride);
+        st.elemBytes = s.storeElem;
+        st.threadStride = s.storeElem;
+        loop.insts.push_back(StaticInst::store(st, 0));
+    }
+    loop.insts.push_back(StaticInst::branch());
+    k.segments.push_back(loop);
+
+    Segment epilogue;
+    epilogue.insts.push_back(
+        StaticInst::store(coalesced(arrayBase(s.benchSalt, 9)), 0));
+    k.segments.push_back(epilogue);
+
+    k.finalize();
+    return k;
+}
+
+WorkloadInfo
+strideInfo(const std::string &name, const std::string &suite,
+           double base_cpi, double pmem_cpi, std::uint64_t warps,
+           std::uint64_t blocks, unsigned del_stride, unsigned del_ip,
+           unsigned reg_blocks_lost)
+{
+    WorkloadInfo info;
+    info.name = name;
+    info.suite = suite;
+    info.type = WorkloadType::Stride;
+    info.paperBaseCpi = base_cpi;
+    info.paperPmemCpi = pmem_cpi;
+    info.paperWarps = warps;
+    info.paperBlocks = blocks;
+    info.paperDelinquentStride = del_stride;
+    info.paperDelinquentIp = del_ip;
+    info.swpOpts.registerBlocksLost = reg_blocks_lost;
+    // Stride-type kernels prefetch for the next warp (Fig. 4) when the
+    // IP transform is applied; their loops make larger distances stale
+    // by the time the target block arrives.
+    info.swpOpts.ipDistanceWarps = 1;
+    return info;
+}
+
+} // namespace
+
+Workload
+buildBlack(unsigned scaleDiv)
+{
+    // BlackScholes: option pricing; three chained half-word input
+    // streams (strike/price/time lookups feed each other's index math).
+    StrideSpec s{};
+    s.warpsPerBlock = 4;
+    s.blocks = 480;
+    s.maxBlocksPerCore = 3;
+    s.trips = 8;
+    s.loads = 3;
+    s.chainLoads = true;
+    s.loadElem = 2;
+    s.compPerIter = 12;
+    s.imulPerIter = 1;
+    s.fdivPerIter = 0;
+    s.storePerIter = true;
+    s.storeElem = 2;
+    s.iterStride = 61440;
+    s.benchSalt = 0;
+    return {strideInfo("black", "sdk", 8.86, 4.15, 1920, 480, 3, 0, 2),
+            strideKernel("black", s, scaleDiv)};
+}
+
+Workload
+buildConv(unsigned scaleDiv)
+{
+    // convolutionSeparable: one strided image stream, filter compute.
+    StrideSpec s{};
+    s.warpsPerBlock = 6;
+    s.blocks = 688;
+    s.maxBlocksPerCore = 2;
+    s.trips = 6;
+    s.loads = 1;
+    s.chainLoads = false;
+    s.loadElem = 4;
+    s.compPerIter = 8;
+    s.imulPerIter = 1;
+    s.fdivPerIter = 0;
+    s.storePerIter = true;
+    s.storeElem = 2;
+    s.iterStride = 131072;
+    s.benchSalt = 1;
+    return {strideInfo("conv", "sdk", 7.98, 4.21, 4128, 688, 1, 0, 1),
+            strideKernel("conv", s, scaleDiv)};
+}
+
+Workload
+buildMersenne(unsigned scaleDiv)
+{
+    // MersenneTwister: few blocks, long state-update loops; the state
+    // reload depends on the twist vector read (chained pair).
+    StrideSpec s{};
+    s.warpsPerBlock = 4;
+    s.blocks = 32;
+    s.maxBlocksPerCore = 2;
+    s.trips = 48;
+    s.loads = 2;
+    s.chainLoads = true;
+    s.loadElem = 4;
+    s.compPerIter = 20;
+    s.imulPerIter = 2;
+    s.fdivPerIter = 0;
+    s.storePerIter = true;
+    s.storeElem = 4;
+    s.iterStride = 16384;
+    s.benchSalt = 2;
+    return {strideInfo("mersenne", "sdk", 7.09, 4.99, 128, 32, 2, 0, 1),
+            strideKernel("mersenne", s, scaleDiv)};
+}
+
+Workload
+buildMonte(unsigned scaleDiv)
+{
+    // MonteCarlo: one strided sample stream whose value feeds a
+    // divide-heavy path sum; per-warp MLP is 1, so the baseline is
+    // firmly latency-bound (the paper's biggest stride-prefetch win).
+    StrideSpec s{};
+    s.warpsPerBlock = 8;
+    s.blocks = 256;
+    s.maxBlocksPerCore = 2;
+    s.trips = 16;
+    s.loads = 1;
+    s.chainLoads = false;
+    s.loadElem = 2;
+    s.compPerIter = 6;
+    s.imulPerIter = 0;
+    s.fdivPerIter = 1;
+    s.storePerIter = false;
+    s.storeElem = 4;
+    s.iterStride = 262144;
+    s.benchSalt = 3;
+    return {strideInfo("monte", "sdk", 13.69, 5.36, 2048, 256, 1, 0, 1),
+            strideKernel("monte", s, scaleDiv)};
+}
+
+Workload
+buildPns(unsigned scaleDiv)
+{
+    // Petri-net simulation (Parboil): small grid (18 blocks, one per
+    // core) with chained place/transition lookups.
+    StrideSpec s{};
+    s.warpsPerBlock = 8;
+    s.blocks = 18;
+    s.maxBlocksPerCore = 1;
+    s.trips = 32;
+    s.loads = 2;
+    s.chainLoads = true;
+    s.loadElem = 4;
+    s.compPerIter = 14;
+    s.imulPerIter = 2;
+    s.fdivPerIter = 0;
+    s.storePerIter = true;
+    s.storeElem = 4;
+    s.iterStride = 32768;
+    s.benchSalt = 4;
+    return {strideInfo("pns", "parboil", 18.87, 5.25, 144, 18, 1, 1, 0),
+            strideKernel("pns", s, scaleDiv)};
+}
+
+Workload
+buildScalar(unsigned scaleDiv)
+{
+    // scalarProd: dot products — a chained index/data stream pair with
+    // very little compute per element.
+    StrideSpec s{};
+    s.warpsPerBlock = 8;
+    s.blocks = 128;
+    s.maxBlocksPerCore = 2;
+    s.trips = 16;
+    s.loads = 2;
+    s.chainLoads = true;
+    s.loadElem = 2;
+    s.compPerIter = 4;
+    s.imulPerIter = 0;
+    s.fdivPerIter = 0;
+    s.storePerIter = false;
+    s.storeElem = 4;
+    s.iterStride = 131072;
+    s.benchSalt = 5;
+    return {strideInfo("scalar", "sdk", 19.25, 4.19, 1024, 128, 2, 0, 1),
+            strideKernel("scalar", s, scaleDiv)};
+}
+
+Workload
+buildStream(unsigned scaleDiv)
+{
+    // streamcluster: streaming distance computations; two chained
+    // streams (point then centre), minimal compute — the memory system
+    // saturates, so distance-1 prefetches are chronically late
+    // (Sec. VII-A, IX-B).
+    StrideSpec s{};
+    s.warpsPerBlock = 16;
+    s.blocks = 128;
+    s.maxBlocksPerCore = 1;
+    s.trips = 24;
+    s.loads = 2;
+    s.chainLoads = true;
+    s.loadElem = 4;
+    s.compPerIter = 3;
+    s.imulPerIter = 0;
+    s.fdivPerIter = 0;
+    s.storePerIter = true;
+    s.storeElem = 4;
+    s.iterStride = 262144;
+    s.benchSalt = 6;
+    return {strideInfo("stream", "rodinia", 18.93, 4.21, 2048, 128, 2, 5,
+                       0),
+            strideKernel("stream", s, scaleDiv)};
+}
+
+} // namespace workloads
+} // namespace mtp

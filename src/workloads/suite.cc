@@ -1,0 +1,169 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/log.hh"
+#include "workloads/builders.hh"
+
+namespace mtp {
+
+std::string
+toString(WorkloadType type)
+{
+    switch (type) {
+      case WorkloadType::Stride:  return "stride";
+      case WorkloadType::Mp:      return "mp";
+      case WorkloadType::Uncoal:  return "uncoal";
+      case WorkloadType::Compute: return "compute";
+    }
+    MTP_PANIC("bad WorkloadType ", static_cast<int>(type));
+}
+
+namespace workloads {
+
+std::uint64_t
+scaledBlocks(std::uint64_t paper_blocks, unsigned scaleDiv,
+             unsigned maxBlocksPerCore)
+{
+    MTP_ASSERT(scaleDiv > 0, "scaleDiv must be >= 1");
+    std::uint64_t floor_blocks =
+        3ULL * 14 * std::max(1u, maxBlocksPerCore);
+    std::uint64_t scaled = paper_blocks / scaleDiv;
+    return std::max<std::uint64_t>(1,
+                                   std::min(paper_blocks,
+                                            std::max(scaled,
+                                                     floor_blocks)));
+}
+
+AddressPattern
+coalesced(Addr base, Stride iterStride)
+{
+    AddressPattern p;
+    p.base = base;
+    p.threadStride = 4;
+    p.iterStride = iterStride;
+    p.elemBytes = 4;
+    return p;
+}
+
+AddressPattern
+uncoalesced(Addr base, Stride laneStride, Stride iterStride)
+{
+    AddressPattern p;
+    p.base = base;
+    p.threadStride = laneStride;
+    p.iterStride = iterStride;
+    p.elemBytes = 4;
+    return p;
+}
+
+AddressPattern
+scattered(Addr base, Stride laneStride, double frac, Addr span,
+          std::uint64_t salt)
+{
+    AddressPattern p = uncoalesced(base, laneStride);
+    p.scatterFrac = frac;
+    p.scatterSpan = span;
+    p.scatterSalt = salt;
+    return p;
+}
+
+} // namespace workloads
+
+namespace {
+
+using Builder = std::function<Workload(unsigned)>;
+
+const std::map<std::string, Builder> &
+builders()
+{
+    using namespace workloads;
+    static const std::map<std::string, Builder> table = {
+        {"black", buildBlack},
+        {"conv", buildConv},
+        {"mersenne", buildMersenne},
+        {"monte", buildMonte},
+        {"pns", buildPns},
+        {"scalar", buildScalar},
+        {"stream", buildStream},
+        {"backprop", buildBackprop},
+        {"cell", buildCell},
+        {"ocean", buildOcean},
+        {"bfs", buildBfs},
+        {"cfd", buildCfd},
+        {"linear", buildLinear},
+        {"sepia", buildSepia},
+        {"binomial", buildBinomial},
+        {"dwthaar1d", buildDwtHaar1d},
+        {"eigenvalue", buildEigenvalue},
+        {"gaussian", buildGaussian},
+        {"histogram", buildHistogram},
+        {"leukocyte", buildLeukocyte},
+        {"matrix", buildMatrix},
+        {"mri-fhd", buildMriFhd},
+        {"mri-q", buildMriQ},
+        {"nbody", buildNbody},
+        {"quasirandom", buildQuasirandom},
+        {"sad", buildSad},
+    };
+    return table;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+Suite::memoryIntensiveNames()
+{
+    static const std::vector<std::string> names = {
+        "black", "conv", "mersenne", "monte", "pns", "scalar", "stream",
+        "backprop", "cell", "ocean", "bfs", "cfd", "linear", "sepia",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+Suite::computeNames()
+{
+    static const std::vector<std::string> names = {
+        "binomial", "dwthaar1d", "eigenvalue", "gaussian", "histogram",
+        "leukocyte", "matrix", "mri-fhd", "mri-q", "nbody", "quasirandom",
+        "sad",
+    };
+    return names;
+}
+
+std::vector<std::string>
+Suite::namesOfType(WorkloadType type)
+{
+    std::vector<std::string> out;
+    const auto &pool = type == WorkloadType::Compute
+                           ? computeNames()
+                           : memoryIntensiveNames();
+    for (const auto &name : pool) {
+        if (get(name, 64).info.type == type)
+            out.push_back(name);
+    }
+    return out;
+}
+
+Workload
+Suite::get(const std::string &name, unsigned scaleDiv)
+{
+    auto it = builders().find(name);
+    if (it == builders().end())
+        MTP_FATAL("unknown benchmark '", name, "'");
+    Workload w = it->second(scaleDiv);
+    if (!w.kernel.finalized())
+        w.kernel.finalize();
+    return w;
+}
+
+bool
+Suite::has(const std::string &name)
+{
+    return builders().find(name) != builders().end();
+}
+
+} // namespace mtp

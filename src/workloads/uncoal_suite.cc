@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The four uncoal-type benchmarks of Table III: dominated by
+ * uncoalesced accesses, where a single warp load touches many distinct
+ * cache blocks (sparse 32 B segments) and serializes through the LSU.
+ * Their loads chain through index lookups, so the baselines are badly
+ * latency-bound; the regular cross-thread structure still gives
+ * inter-thread prefetching something to train on. bfs adds
+ * data-dependent scatter.
+ */
+
+#include "workloads/builders.hh"
+
+namespace mtp {
+namespace workloads {
+
+namespace {
+
+WorkloadInfo
+uncoalInfo(const std::string &name, const std::string &suite,
+           double base_cpi, double pmem_cpi, std::uint64_t warps,
+           std::uint64_t blocks, unsigned del_stride, unsigned del_ip)
+{
+    WorkloadInfo info;
+    info.name = name;
+    info.suite = suite;
+    info.type = WorkloadType::Uncoal;
+    info.paperBaseCpi = base_cpi;
+    info.paperPmemCpi = pmem_cpi;
+    info.paperWarps = warps;
+    info.paperBlocks = blocks;
+    info.paperDelinquentStride = del_stride;
+    info.paperDelinquentIp = del_ip;
+    return info;
+}
+
+/**
+ * Set the benchmark's profitable inter-thread prefetch distance: far
+ * enough ahead that the target warp has not issued its demand yet,
+ * near enough that the fill survives in the 16 KB prefetch cache.
+ */
+WorkloadInfo
+withIpDistance(WorkloadInfo info, unsigned warps_ahead)
+{
+    info.swpOpts.ipDistanceWarps = warps_ahead;
+    return info;
+}
+
+} // namespace
+
+Workload
+buildBfs(unsigned scaleDiv)
+{
+    // Rodinia bfs: frontier-driven graph traversal. The frontier array
+    // is read coalesced; neighbour and visited lookups depend on it and
+    // scatter with the graph structure (deterministic pseudo-random
+    // here). Loops over a few levels, so both stride- and
+    // IP-delinquent loads exist (Table III: 4 stride / 3 IP).
+    KernelDesc k;
+    k.name = "bfs";
+    k.warpsPerBlock = 16;
+    k.numBlocks = scaledBlocks(128, scaleDiv, 1);
+    k.maxBlocksPerCore = 1;
+
+    Segment preamble;
+    preamble.insts.push_back(StaticInst::comp(2));
+    k.segments.push_back(preamble);
+
+    Segment level;
+    level.trips = 4;
+    // Frontier read: coalesced, advances a node tile per level.
+    level.insts.push_back(StaticInst::load(
+        coalesced(arrayBase(10, 0), 65536), 0));
+    // Edge-offset, neighbour, visited and cost lookups chain through
+    // each other (graph indirection) within one adjacency structure;
+    // lanes land 48 B apart with 10% data-dependent scatter over the
+    // frontier's working set.
+    for (unsigned l = 1; l <= 4; ++l) {
+        StaticInst ld = StaticInst::load(
+            scattered(arrayBase(10, 1), 48, 0.1, 4u << 20, 10 + l),
+            static_cast<int>(l));
+        ld.pattern.base += (l - 1) * 2048; // next adjacency field
+        ld.srcSlots = {static_cast<std::int8_t>(l - 1), -1};
+        level.insts.push_back(ld);
+    }
+    level.insts.push_back(StaticInst::compUse(3, 4, 12));
+    level.insts.push_back(StaticInst::store(
+        coalesced(arrayBase(10, 8), 65536), 1));
+    level.insts.push_back(StaticInst::branch());
+    k.segments.push_back(level);
+
+    k.finalize();
+    return {withIpDistance(uncoalInfo("bfs", "rodinia", 102.02, 4.19,
+                                      2048, 128, 4, 3), 1),
+            k};
+}
+
+Workload
+buildCfd(unsigned scaleDiv)
+{
+    // Rodinia cfd (Euler3D): per-cell flux computation reading many
+    // neighbour fields through an element-of-structure layout — lanes
+    // land 8 B apart, spreading one warp access over four sparse
+    // transactions. The eight flux-field loads chain through the
+    // neighbour index (Table III counts 36 IP-delinquent loads; we
+    // model eight with the same aggregate behaviour).
+    KernelDesc k;
+    k.name = "cfd";
+    k.warpsPerBlock = 6;
+    k.numBlocks = scaledBlocks(1212, scaleDiv, 1);
+    k.maxBlocksPerCore = 1;
+
+    Segment body;
+    body.insts.push_back(StaticInst::comp(2));
+    // The eight flux-field loads walk one cell-record array (fields
+    // 2 KB apart, inside a warp's row stripe) and chain through the
+    // neighbour index.
+    for (unsigned l = 0; l < 8; ++l) {
+        StaticInst ld = StaticInst::load(
+            uncoalesced(arrayBase(11, 0), 8), static_cast<int>(l));
+        ld.pattern.base += l * 2048; // next field of the cell record
+        if (l > 0)
+            ld.srcSlots = {static_cast<std::int8_t>(l - 1), -1};
+        body.insts.push_back(ld);
+    }
+    body.insts.push_back(StaticInst::compUse(6, 7, 14));
+    body.insts.push_back(StaticInst::fdiv(2));
+    body.insts.push_back(StaticInst::compUse(3, 4, 2));
+    body.insts.push_back(StaticInst::store(
+        uncoalesced(arrayBase(11, 12), 8), 0));
+    body.insts.push_back(StaticInst::store(
+        uncoalesced(arrayBase(11, 13), 8), 1));
+    k.segments.push_back(body);
+
+    k.finalize();
+    return {withIpDistance(uncoalInfo("cfd", "rodinia", 29.01, 4.37,
+                                      7272, 1212, 0, 36), 3),
+            k};
+}
+
+Workload
+buildLinear(unsigned scaleDiv)
+{
+    // Merge linear regression: each thread walks a column of a
+    // row-major image, so every lane of a warp touches its own row —
+    // fully uncoalesced 32-transaction loads. Nine neighbourhood loads
+    // form three dependent chains (Table III: 27 IP-delinquent loads;
+    // the paper's kernel reads a 3x3 neighbourhood of three images).
+    KernelDesc k;
+    k.name = "linear";
+    k.warpsPerBlock = 8;
+    k.numBlocks = scaledBlocks(1024, scaleDiv, 2);
+    k.maxBlocksPerCore = 2;
+
+    Segment body;
+    body.insts.push_back(StaticInst::comp(2));
+    // Four neighbourhood samples form one long dependent walk (each
+    // sample's address comes from the previous pixel record). Lanes sit
+    // 48 B apart — every lane a sparse transaction, warp footprints
+    // row-local.
+    for (unsigned l = 0; l < 4; ++l) {
+        StaticInst ld = StaticInst::load(
+            uncoalesced(arrayBase(12, 0), 48), static_cast<int>(l));
+        ld.pattern.base += l * 12; // neighbour offset within the record
+        if (l > 0)
+            ld.srcSlots = {static_cast<std::int8_t>(l - 1), -1};
+        body.insts.push_back(ld);
+    }
+    body.insts.push_back(StaticInst::compUse(0, 2, 4));
+    body.insts.push_back(StaticInst::compUse(3, -1, 2));
+    body.insts.push_back(StaticInst::store(
+        coalesced(arrayBase(12, 8)), 0));
+    k.segments.push_back(body);
+
+    k.finalize();
+    return {withIpDistance(uncoalInfo("linear", "merge", 408.9, 4.18,
+                                      8192, 1024, 0, 27), 4),
+            k};
+}
+
+Workload
+buildSepia(unsigned scaleDiv)
+{
+    // Merge sepia filter: RGB pixel records at 48 B per lane leave
+    // every lane in (nearly) its own block; the three channel loads
+    // chain through the pixel pointer.
+    KernelDesc k;
+    k.name = "sepia";
+    k.warpsPerBlock = 8;
+    k.numBlocks = scaledBlocks(1024, scaleDiv, 3);
+    k.maxBlocksPerCore = 3;
+
+    Segment body;
+    body.insts.push_back(StaticInst::comp(1));
+    for (unsigned l = 0; l < 3; ++l) {
+        StaticInst ld = StaticInst::load(
+            uncoalesced(arrayBase(13, 0), 48), static_cast<int>(l));
+        ld.pattern.base += l * 16; // channel offset within the record
+        if (l > 0)
+            ld.srcSlots = {static_cast<std::int8_t>(l - 1), -1};
+        body.insts.push_back(ld);
+    }
+    body.insts.push_back(StaticInst::compUse(0, 1, 6));
+    body.insts.push_back(StaticInst::compUse(2, -1, 2));
+    body.insts.push_back(StaticInst::store(
+        uncoalesced(arrayBase(13, 8), 48), 0));
+    k.segments.push_back(body);
+
+    k.finalize();
+    return {withIpDistance(uncoalInfo("sepia", "merge", 149.46, 4.19,
+                                      8192, 1024, 0, 2), 8),
+            k};
+}
+
+} // namespace workloads
+} // namespace mtp

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.hh"
+
+namespace mtp {
+namespace bench {
+namespace {
+
+TEST(BenchCommon, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 1.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({0.5, 2.0}), 1.0, 1e-12);
+}
+
+TEST(BenchCommon, ParseArgs)
+{
+    const char *argv[] = {"prog", "--scale", "4", "--bench",
+                          "monte,stream", "numCores=10"};
+    Options opts = parseArgs(6, const_cast<char **>(argv));
+    EXPECT_EQ(opts.scaleDiv, 4u);
+    ASSERT_EQ(opts.benchmarks.size(), 2u);
+    EXPECT_EQ(opts.benchmarks[0], "monte");
+    EXPECT_EQ(opts.benchmarks[1], "stream");
+    ASSERT_EQ(opts.overrides.size(), 1u);
+    SimConfig cfg = baseConfig(opts);
+    EXPECT_EQ(cfg.numCores, 10u);
+    // The throttle period scales with the grid divisor.
+    EXPECT_EQ(cfg.throttlePeriod, 10000u);
+}
+
+TEST(BenchCommon, SelectBenchmarksFallsBack)
+{
+    Options opts;
+    auto names = selectBenchmarks(opts, {"a", "b"});
+    ASSERT_EQ(names.size(), 2u);
+    opts.benchmarks = {"monte"};
+    names = selectBenchmarks(opts, {"a", "b"});
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "monte");
+}
+
+TEST(BenchCommon, SweepSubsetCoversAllClasses)
+{
+    bool stride = false, mp = false, uncoal = false;
+    for (const auto &name : sweepSubset()) {
+        Workload w = Suite::get(name, 64);
+        stride = stride || w.info.type == WorkloadType::Stride;
+        mp = mp || w.info.type == WorkloadType::Mp;
+        uncoal = uncoal || w.info.type == WorkloadType::Uncoal;
+    }
+    EXPECT_TRUE(stride);
+    EXPECT_TRUE(mp);
+    EXPECT_TRUE(uncoal);
+}
+
+TEST(BenchCommon, RunnerCachesIdenticalRuns)
+{
+    Options opts;
+    opts.scaleDiv = 64;
+    Runner runner(opts);
+    Workload w = Suite::get("cell", opts.scaleDiv);
+    const RunResult &a = runner.baseline(w);
+    const RunResult &b = runner.baseline(w);
+    EXPECT_EQ(&a, &b); // same cached object
+
+    // A config that differs only in an ablation toggle must NOT hit
+    // the cache (regression test for the Fig. 14 cache-key bug).
+    SimConfig cfg = baseConfig(opts);
+    cfg.hwPref = HwPrefKind::MTHWP;
+    SimConfig ablated = cfg;
+    ablated.mthwpIp = false;
+    const RunResult &full = runner.run(cfg, w.kernel);
+    const RunResult &pws = runner.run(ablated, w.kernel);
+    EXPECT_NE(&full, &pws);
+}
+
+} // namespace
+} // namespace bench
+} // namespace mtp

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace mtp {
+namespace {
+
+TEST(BitUtils, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 63));
+    EXPECT_FALSE(isPowerOf2((1ULL << 63) + 1));
+}
+
+TEST(BitUtils, FloorCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+}
+
+TEST(BitUtils, Align)
+{
+    EXPECT_EQ(alignDown(127, 64), 64u);
+    EXPECT_EQ(alignDown(128, 64), 128u);
+    EXPECT_EQ(alignUp(127, 64), 128u);
+    EXPECT_EQ(alignUp(128, 64), 128u);
+    EXPECT_EQ(alignUp(0, 64), 0u);
+}
+
+TEST(BitUtils, Bits)
+{
+    EXPECT_EQ(bits(0xabcdULL, 0, 4), 0xdULL);
+    EXPECT_EQ(bits(0xabcdULL, 4, 8), 0xbcULL);
+    EXPECT_EQ(bits(~0ULL, 0, 64), ~0ULL);
+}
+
+TEST(BitUtils, Mix64IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+    // Consecutive inputs should differ in many bits.
+    unsigned diff = 0;
+    std::uint64_t x = mix64(1) ^ mix64(2);
+    while (x) {
+        diff += x & 1;
+        x >>= 1;
+    }
+    EXPECT_GT(diff, 16u);
+}
+
+TEST(BlockAlign, Basics)
+{
+    EXPECT_EQ(blockAlign(0), 0u);
+    EXPECT_EQ(blockAlign(63), 0u);
+    EXPECT_EQ(blockAlign(64), 64u);
+    EXPECT_EQ(blockAlign(130), 128u);
+    EXPECT_EQ(blockIndex(128), 2u);
+}
+
+} // namespace
+} // namespace mtp

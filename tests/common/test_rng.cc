@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace mtp {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(7), b(7), c(8);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool all_equal = true;
+    Rng a2(7);
+    for (int i = 0; i < 100; ++i)
+        all_equal = all_equal && (a2.next() == c.next());
+    EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(1);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_LT(r.below(10), 10u);
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng r(123);
+    int hits = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i)
+        hits += r.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / static_cast<double>(trials), 0.25, 0.03);
+}
+
+} // namespace
+} // namespace mtp

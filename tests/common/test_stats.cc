@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace mtp {
+namespace {
+
+TEST(StatSet, AddGetOverwrite)
+{
+    StatSet s;
+    s.add("a.b", 1.0, "first");
+    s.add("a.c", 2.0);
+    EXPECT_TRUE(s.has("a.b"));
+    EXPECT_FALSE(s.has("a.d"));
+    EXPECT_DOUBLE_EQ(s.get("a.b"), 1.0);
+    EXPECT_DOUBLE_EQ(s.getOr("a.d", -1.0), -1.0);
+    s.add("a.b", 5.0); // overwrite keeps position
+    EXPECT_DOUBLE_EQ(s.get("a.b"), 5.0);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.entries()[0].name, "a.b");
+}
+
+TEST(StatSet, SumMatching)
+{
+    StatSet s;
+    s.add("core0.pref.issued", 3);
+    s.add("core1.pref.issued", 4);
+    s.add("core1.pref.dropped", 100);
+    EXPECT_DOUBLE_EQ(s.sumMatching("core", ".pref.issued"), 7.0);
+    EXPECT_DOUBLE_EQ(s.sumMatching("mem", ".pref.issued"), 0.0);
+}
+
+TEST(StatSet, Merge)
+{
+    StatSet a;
+    a.add("x", 1);
+    StatSet b;
+    b.add("y", 2);
+    a.merge(b, "sub.");
+    EXPECT_DOUBLE_EQ(a.get("sub.y"), 2.0);
+    EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(StatSet, DumpFormats)
+{
+    StatSet s;
+    s.add("name", 1.5, "desc");
+    std::ostringstream text;
+    s.dumpText(text);
+    EXPECT_NE(text.str().find("name"), std::string::npos);
+    EXPECT_NE(text.str().find("desc"), std::string::npos);
+    std::ostringstream csv;
+    s.dumpCsv(csv);
+    EXPECT_NE(csv.str().find("name,1.5"), std::string::npos);
+}
+
+TEST(Histogram, BucketsAndSummary)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(0.5);
+    h.sample(5.5, 2);
+    h.sample(-1.0);
+    h.sample(100.0);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(5), 2u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.minValue(), -1.0);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 100.0);
+    EXPECT_NEAR(h.mean(), (0.5 + 5.5 * 2 - 1.0 + 100.0) / 5.0, 1e-9);
+}
+
+TEST(Histogram, ResetAndExport)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.sample(1.0, 3);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    h.sample(2.0);
+    StatSet s;
+    h.exportTo(s, "lat");
+    EXPECT_DOUBLE_EQ(s.get("lat.count"), 1.0);
+    EXPECT_DOUBLE_EQ(s.get("lat.mean"), 2.0);
+}
+
+} // namespace
+} // namespace mtp

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/lru_table.hh"
+#include "core/prefetcher.hh"
+
+namespace mtp {
+namespace {
+
+TEST(LruTable, FindOrInsertAndEvictLru)
+{
+    LruTable<int, std::string> t(2);
+    bool inserted = false;
+    t.findOrInsert(1, &inserted) = "one";
+    EXPECT_TRUE(inserted);
+    t.findOrInsert(2, &inserted) = "two";
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*t.find(1), "one"); // 1 becomes MRU
+    t.findOrInsert(3, &inserted) = "three";
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.find(2), nullptr); // 2 was LRU
+    EXPECT_NE(t.find(1), nullptr);
+    EXPECT_NE(t.find(3), nullptr);
+    EXPECT_EQ(t.evictions(), 1u);
+}
+
+TEST(LruTable, PeekDoesNotTouch)
+{
+    LruTable<int, int> t(2);
+    t.findOrInsert(1) = 10;
+    t.findOrInsert(2) = 20;
+    EXPECT_EQ(*t.peek(1), 10); // no recency update
+    t.findOrInsert(3) = 30;
+    // 1 stayed LRU despite the peek.
+    EXPECT_EQ(t.find(1), nullptr);
+}
+
+TEST(LruTable, EraseAndClear)
+{
+    LruTable<int, int> t(4);
+    t.findOrInsert(1) = 1;
+    t.findOrInsert(2) = 2;
+    EXPECT_TRUE(t.erase(1));
+    EXPECT_FALSE(t.erase(1));
+    EXPECT_EQ(t.size(), 1u);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.find(2), nullptr);
+}
+
+TEST(LruTable, HitMissCounters)
+{
+    LruTable<int, int> t(4);
+    EXPECT_EQ(t.find(1), nullptr);
+    t.findOrInsert(1) = 1;
+    t.find(1);
+    EXPECT_EQ(t.hits(), 1u);
+    // find(1) missed once, findOrInsert missed once more internally.
+    EXPECT_EQ(t.misses(), 2u);
+}
+
+TEST(LruTable, ForEachVisitsMruFirst)
+{
+    LruTable<int, int> t(4);
+    t.findOrInsert(1) = 1;
+    t.findOrInsert(2) = 2;
+    t.findOrInsert(3) = 3;
+    t.find(1); // 1 MRU
+    std::vector<int> order;
+    t.forEach([&](const int &k, const int &) { order.push_back(k); });
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[2], 2); // oldest untouched entry is last
+}
+
+TEST(LruTable, PcWidKeyEqualityAndHash)
+{
+    PcWid a{0x10, 3}, b{0x10, 3}, c{0x10, 4}, d{0x14, 3};
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+    EXPECT_FALSE(a == d);
+    PcWidHash h;
+    EXPECT_EQ(h(a), h(b));
+    // Not a correctness requirement, but these should differ in
+    // practice for table health.
+    EXPECT_NE(h(a), h(c));
+}
+
+TEST(PrefetcherFactory, BuildsEveryKind)
+{
+    SimConfig cfg;
+    cfg.hwPref = HwPrefKind::None;
+    EXPECT_EQ(makeHwPrefetcher(cfg), nullptr);
+    const std::pair<HwPrefKind, std::string> rows[] = {
+        {HwPrefKind::StrideRPT, "stride_rpt.warp"},
+        {HwPrefKind::StridePC, "stride_pc.warp"},
+        {HwPrefKind::Stream, "stream.warp"},
+        {HwPrefKind::GHB, "ghb.warp"},
+        {HwPrefKind::MTHWP, "mthwp:pws+gs+ip"},
+    };
+    for (const auto &[kind, name] : rows) {
+        cfg.hwPref = kind;
+        auto pref = makeHwPrefetcher(cfg);
+        ASSERT_NE(pref, nullptr);
+        EXPECT_EQ(pref->name(), name);
+        EXPECT_EQ(pref->distance(), cfg.prefDistance);
+        EXPECT_EQ(pref->degree(), cfg.prefDegree);
+    }
+}
+
+TEST(PrefetcherFactory, HonoursAblationToggles)
+{
+    SimConfig cfg;
+    cfg.hwPref = HwPrefKind::MTHWP;
+    cfg.mthwpGs = false;
+    cfg.mthwpIp = false;
+    auto pref = makeHwPrefetcher(cfg);
+    EXPECT_EQ(pref->name(), "mthwp:pws");
+}
+
+} // namespace
+} // namespace mtp

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "core/mt_hwp.hh"
+#include "tests/test_helpers.hh"
+
+namespace mtp {
+namespace {
+
+SimConfig
+hwpConfig()
+{
+    SimConfig cfg;
+    cfg.pwsEntries = 32;
+    cfg.gsEntries = 8;
+    cfg.ipEntries = 8;
+    cfg.ipDistanceWarps = 1; // unit distance keeps test math simple
+    return cfg;
+}
+
+TEST(MtHwp, PwsTrainsPerWarp)
+{
+    SimConfig cfg = hwpConfig();
+    MtHwpPrefetcher pref(cfg, {/*pws=*/true, /*gs=*/false, /*ip=*/false});
+    test::ObsDriver drv;
+    drv.observe(pref, 0x10, 3, 0x1000);
+    drv.observe(pref, 0x10, 3, 0x2000);
+    auto out = drv.observe(pref, 0x10, 3, 0x3000);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], blockAlign(0x3000 + 0x1000));
+    EXPECT_EQ(pref.pwsHits(), 1u);
+    EXPECT_EQ(pref.gsHits(), 0u);
+    EXPECT_EQ(pref.name(), "mthwp:pws");
+}
+
+TEST(MtHwp, StridePromotionAfterThreeAgreeingWarps)
+{
+    SimConfig cfg = hwpConfig();
+    MtHwpPrefetcher pref(cfg, {true, true, false});
+    test::ObsDriver drv;
+    // Warps 0..2 each train stride 0x1000 at PC 0x1a (Fig. 5 left).
+    for (unsigned w = 0; w < 3; ++w) {
+        for (unsigned i = 0; i < 3; ++i)
+            drv.observe(pref, 0x1a, w, w * 0x10 + i * 0x1000);
+    }
+    EXPECT_EQ(pref.promotions(), 1u);
+    EXPECT_EQ(pref.gsStride(0x1a), 0x1000);
+    // A yet-untrained warp now prefetches immediately via the GS table.
+    auto out = drv.observe(pref, 0x1a, 7, 0x70);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], blockAlign(0x70 + 0x1000));
+    EXPECT_GE(pref.gsHits(), 1u);
+    EXPECT_GE(pref.pwsAccessesSaved(), 1u);
+}
+
+TEST(MtHwp, NoPromotionWhenStridesDisagree)
+{
+    SimConfig cfg = hwpConfig();
+    MtHwpPrefetcher pref(cfg, {true, true, false});
+    test::ObsDriver drv;
+    Stride strides[3] = {0x1000, 0x1000, 0x800};
+    for (unsigned w = 0; w < 3; ++w) {
+        for (unsigned i = 0; i < 3; ++i)
+            drv.observe(pref, 0x1a, w,
+                        w * 0x10 + i * static_cast<Addr>(strides[w]));
+    }
+    EXPECT_EQ(pref.promotions(), 0u);
+    EXPECT_EQ(pref.gsStride(0x1a), 0);
+}
+
+TEST(MtHwp, IpTableTrainsAcrossWarps)
+{
+    SimConfig cfg = hwpConfig();
+    MtHwpPrefetcher pref(cfg, {false, false, true});
+    test::ObsDriver drv;
+    // Warps 0..3 at the same PC, 0x80 apart: cross-warp stride 0x80.
+    // ipTrainCount=3 consistent deltas are required.
+    drv.observe(pref, 0x2a, 0, 0x1000);
+    drv.observe(pref, 0x2a, 1, 0x1080);
+    drv.observe(pref, 0x2a, 2, 0x1100);
+    EXPECT_FALSE(pref.ipTrained(0x2a));
+    drv.observe(pref, 0x2a, 3, 0x1180);
+    EXPECT_TRUE(pref.ipTrained(0x2a));
+    auto out = drv.observe(pref, 0x2a, 4, 0x1200);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], blockAlign(0x1200 + 0x80)); // ipDistanceWarps=1
+    EXPECT_GE(pref.ipHits(), 1u);
+}
+
+TEST(MtHwp, IpHandlesNonUnitWarpDeltas)
+{
+    SimConfig cfg = hwpConfig();
+    MtHwpPrefetcher pref(cfg, {false, false, true});
+    test::ObsDriver drv;
+    // Warps observed out of order: deltas of 2 and 1 warps, same
+    // per-warp stride 0x80.
+    drv.observe(pref, 0x2a, 0, 0x1000);
+    drv.observe(pref, 0x2a, 2, 0x1100);
+    drv.observe(pref, 0x2a, 3, 0x1180);
+    drv.observe(pref, 0x2a, 5, 0x1280);
+    EXPECT_TRUE(pref.ipTrained(0x2a));
+}
+
+TEST(MtHwp, IpDistanceScalesTarget)
+{
+    SimConfig cfg = hwpConfig();
+    cfg.ipDistanceWarps = 8;
+    MtHwpPrefetcher pref(cfg, {false, false, true});
+    test::ObsDriver drv;
+    for (unsigned w = 0; w < 4; ++w)
+        drv.observe(pref, 0x2a, w, 0x1000 + w * 0x80);
+    auto out = drv.observe(pref, 0x2a, 4, 0x1200);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], blockAlign(0x1200 + 8 * 0x80));
+}
+
+TEST(MtHwp, GsPriorityOverIpAndPws)
+{
+    SimConfig cfg = hwpConfig();
+    MtHwpPrefetcher pref(cfg); // all tables
+    test::ObsDriver drv;
+    // Train IP and PWS and promote to GS at one PC.
+    for (unsigned w = 0; w < 4; ++w)
+        for (unsigned i = 0; i < 3; ++i)
+            drv.observe(pref, 0x3a, w, w * 0x80 + i * 0x1000);
+    ASSERT_GT(pref.promotions(), 0u);
+    std::uint64_t gs_before = pref.gsHits();
+    std::uint64_t pws_before = pref.pwsAccesses();
+    drv.observe(pref, 0x3a, 9, 0x9000);
+    EXPECT_EQ(pref.gsHits(), gs_before + 1);
+    EXPECT_EQ(pref.pwsAccesses(), pws_before); // GS hit skips PWS probe
+}
+
+TEST(MtHwp, TableVICostModel)
+{
+    EXPECT_EQ(MtHwpPrefetcher::pwsEntryBits, 93u);
+    EXPECT_EQ(MtHwpPrefetcher::gsEntryBits, 52u);
+    EXPECT_EQ(MtHwpPrefetcher::ipEntryBits, 133u);
+    SimConfig cfg; // 32 PWS, 8 GS, 8 IP (Sec. VIII-B)
+    EXPECT_EQ(MtHwpPrefetcher::costBits(cfg),
+              32u * 93 + 8u * 52 + 8u * 133);
+    EXPECT_EQ(MtHwpPrefetcher::costBytes(cfg), 557u); // Table VI
+}
+
+TEST(MtHwp, AblationTablesIsolate)
+{
+    SimConfig cfg = hwpConfig();
+    MtHwpPrefetcher pws_only(cfg, {true, false, false});
+    MtHwpPrefetcher ip_only(cfg, {false, false, true});
+    EXPECT_EQ(pws_only.name(), "mthwp:pws");
+    EXPECT_EQ(ip_only.name(), "mthwp:+ip");
+    test::ObsDriver drv;
+    // Cross-warp-only pattern: PWS-only stays silent, IP-only fires.
+    unsigned pws_gen = 0, ip_gen = 0;
+    for (unsigned w = 0; w < 6; ++w) {
+        pws_gen += drv.observe(pws_only, 0x4a, w, 0x2000 + w * 0x100)
+                       .size();
+        ip_gen += drv.observe(ip_only, 0x4a, w, 0x2000 + w * 0x100)
+                      .size();
+    }
+    EXPECT_EQ(pws_gen, 0u);
+    EXPECT_GT(ip_gen, 0u);
+}
+
+TEST(MtHwp, StatsExport)
+{
+    SimConfig cfg = hwpConfig();
+    MtHwpPrefetcher pref(cfg);
+    test::ObsDriver drv;
+    for (unsigned i = 0; i < 3; ++i)
+        drv.observe(pref, 0x10, 0, i * 0x100);
+    StatSet s;
+    pref.exportStats(s, "hwp");
+    EXPECT_GT(s.get("hwp.observations"), 0.0);
+    EXPECT_TRUE(s.has("hwp.promotions"));
+    EXPECT_TRUE(s.has("hwp.pwsAccessesSaved"));
+}
+
+} // namespace
+} // namespace mtp

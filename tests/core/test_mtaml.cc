@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mtaml.hh"
+
+namespace mtp {
+namespace {
+
+TEST(Mtaml, Equation1)
+{
+    // MTAML = #comp/#mem * (#warps - 1)
+    MtamlInputs in{/*comp=*/80, /*mem=*/20, /*warps=*/16};
+    EXPECT_DOUBLE_EQ(mtaml(in), 4.0 * 15.0);
+}
+
+TEST(Mtaml, SingleWarpCannotTolerateAnything)
+{
+    MtamlInputs in{100, 10, 1};
+    EXPECT_DOUBLE_EQ(mtaml(in), 0.0);
+}
+
+TEST(Mtaml, NoMemoryInstructionsMeansInfiniteTolerance)
+{
+    MtamlInputs in{100, 0, 16};
+    EXPECT_TRUE(std::isinf(mtaml(in)));
+}
+
+TEST(Mtaml, Equations2Through4)
+{
+    // comp_new = comp + P*mem ; mem_new = (1-P)*mem
+    MtamlInputs in{80, 20, 16, /*prefHitProb=*/0.5};
+    double expected = (80 + 0.5 * 20) / (0.5 * 20) * 15.0;
+    EXPECT_DOUBLE_EQ(mtamlPref(in), expected);
+    // More coverage always raises the tolerable latency.
+    MtamlInputs better = in;
+    better.prefHitProb = 0.9;
+    EXPECT_GT(mtamlPref(better), mtamlPref(in));
+    // Zero coverage degenerates to Eq. 1.
+    MtamlInputs none = in;
+    none.prefHitProb = 0.0;
+    EXPECT_DOUBLE_EQ(mtamlPref(none), mtaml(in));
+    // Full coverage: nothing left to tolerate.
+    MtamlInputs full = in;
+    full.prefHitProb = 1.0;
+    EXPECT_TRUE(std::isinf(mtamlPref(full)));
+}
+
+TEST(Mtaml, ClassificationCases)
+{
+    MtamlInputs in{80, 20, 16, 0.5};
+    double bar = mtaml(in);          // 60
+    double bar_pref = mtamlPref(in); // 135
+    // Case 1: both latencies under their bars -> no effect.
+    EXPECT_EQ(classify(in, bar - 10, bar_pref - 10),
+              PrefEffect::NoEffect);
+    // Case 2: baseline cannot tolerate, prefetching can -> useful.
+    EXPECT_EQ(classify(in, bar + 50, bar_pref - 10), PrefEffect::Useful);
+    // Case 3: neither tolerates -> mixed.
+    EXPECT_EQ(classify(in, bar + 50, bar_pref + 50), PrefEffect::Mixed);
+}
+
+TEST(Mtaml, ToStringNames)
+{
+    EXPECT_EQ(toString(PrefEffect::NoEffect), "no-effect");
+    EXPECT_EQ(toString(PrefEffect::Useful), "useful");
+    EXPECT_EQ(toString(PrefEffect::Mixed), "useful-or-harmful");
+}
+
+} // namespace
+} // namespace mtp

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "core/stride_rpt.hh"
+#include "tests/test_helpers.hh"
+
+namespace mtp {
+namespace {
+
+TEST(StrideRpt, TrainsPerRegionNotPerPc)
+{
+    SimConfig cfg;
+    StrideRptPrefetcher pref(cfg);
+    test::ObsDriver drv;
+    // Different PCs, same 64 KB region, constant stride: still trains.
+    drv.observe(pref, 0x10, 0, 0x100000);
+    drv.observe(pref, 0x20, 0, 0x100200);
+    auto out = drv.observe(pref, 0x30, 0, 0x100400);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], blockAlign(0x100400 + 0x200));
+}
+
+TEST(StrideRpt, DifferentRegionsTrackedIndependently)
+{
+    SimConfig cfg;
+    StrideRptPrefetcher pref(cfg);
+    test::ObsDriver drv;
+    // Interleave two regions with different strides.
+    drv.observe(pref, 0x10, 0, 0x100000);
+    drv.observe(pref, 0x10, 0, 0x900000);
+    drv.observe(pref, 0x10, 0, 0x100100);
+    drv.observe(pref, 0x10, 0, 0x900040);
+    auto out_a = drv.observe(pref, 0x10, 0, 0x100200);
+    ASSERT_EQ(out_a.size(), 1u);
+    EXPECT_EQ(out_a[0], blockAlign(0x100200 + 0x100));
+    auto out_b = drv.observe(pref, 0x10, 0, 0x900080);
+    ASSERT_EQ(out_b.size(), 1u);
+    EXPECT_EQ(out_b[0], blockAlign(0x900080 + 0x40));
+}
+
+TEST(StrideRpt, WarpTrainingNameAndSeparation)
+{
+    SimConfig cfg;
+    cfg.hwPrefWarpTraining = false;
+    StrideRptPrefetcher naive(cfg);
+    EXPECT_EQ(naive.name(), "stride_rpt");
+    cfg.hwPrefWarpTraining = true;
+    StrideRptPrefetcher enhanced(cfg);
+    EXPECT_EQ(enhanced.name(), "stride_rpt.warp");
+
+    // Two warps in the same region with different strides confuse the
+    // naive version but not the enhanced one.
+    test::ObsDriver drv;
+    unsigned naive_gen = 0, enhanced_gen = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        naive_gen += drv.observe(naive, 0x10, 0, 0x100000 + i * 0x80)
+                         .size();
+        naive_gen += drv.observe(naive, 0x10, 1, 0x108000 + i * 0x200)
+                         .size();
+        enhanced_gen +=
+            drv.observe(enhanced, 0x10, 0, 0x100000 + i * 0x80).size();
+        enhanced_gen +=
+            drv.observe(enhanced, 0x10, 1, 0x108000 + i * 0x200).size();
+    }
+    EXPECT_GT(enhanced_gen, naive_gen);
+}
+
+} // namespace
+} // namespace mtp

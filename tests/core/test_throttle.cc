@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "core/throttle.hh"
+
+namespace mtp {
+namespace {
+
+SimConfig
+throttleConfig()
+{
+    SimConfig cfg;
+    cfg.throttleInitDegree = 2;
+    cfg.earlyEvictHigh = 1.5;
+    cfg.earlyEvictLow = 0.5;
+    cfg.mergeHigh = 0.15;
+    return cfg;
+}
+
+/** Build a cumulative snapshot from per-period values. */
+class SnapshotFeeder
+{
+  public:
+    ThrottleEngine::Snapshot
+    feed(std::uint64_t early, std::uint64_t useful, std::uint64_t fills,
+         std::uint64_t merges, std::uint64_t total,
+         std::uint64_t hits = 0)
+    {
+        cum_.earlyEvictions += early;
+        cum_.useful += useful;
+        cum_.fills += fills;
+        cum_.merges += merges;
+        cum_.totalRequests += total;
+        cum_.prefCacheHits += hits;
+        return cum_;
+    }
+
+  private:
+    ThrottleEngine::Snapshot cum_{};
+};
+
+TEST(Throttle, DropFractionTracksDegree)
+{
+    SimConfig cfg = throttleConfig();
+    cfg.throttleInitDegree = 2;
+    ThrottleEngine t(cfg);
+    unsigned dropped = 0;
+    for (unsigned i = 0; i < 1000; ++i)
+        dropped += t.shouldDrop() ? 1 : 0;
+    EXPECT_EQ(dropped, 400u); // degree 2 of 5
+}
+
+TEST(Throttle, HighEarlyRateDisablesPrefetching)
+{
+    SimConfig cfg = throttleConfig();
+    ThrottleEngine t(cfg);
+    SnapshotFeeder f;
+    // 100 early evictions per 10 useful: rate 10 >> high threshold.
+    t.updatePeriod(f.feed(100, 10, 200, 0, 1000));
+    EXPECT_EQ(t.degree(), ThrottleEngine::noPrefetchDegree);
+    unsigned dropped = 0;
+    for (unsigned i = 0; i < 100; ++i)
+        dropped += t.shouldDrop() ? 1 : 0;
+    EXPECT_EQ(dropped, 100u);
+}
+
+TEST(Throttle, MediumEarlyRateIncrementsDegree)
+{
+    SimConfig cfg = throttleConfig();
+    ThrottleEngine t(cfg);
+    SnapshotFeeder f;
+    // rate 1.0: between low (0.5) and high (1.5).
+    t.updatePeriod(f.feed(50, 50, 200, 0, 1000));
+    EXPECT_EQ(t.degree(), 3u);
+    t.updatePeriod(f.feed(50, 50, 200, 0, 1000));
+    EXPECT_EQ(t.degree(), 4u);
+}
+
+TEST(Throttle, LowEarlyHighMergeDecrementsDegree)
+{
+    SimConfig cfg = throttleConfig();
+    ThrottleEngine t(cfg);
+    SnapshotFeeder f;
+    // Healthy: no early evictions, lots of merges.
+    t.updatePeriod(f.feed(0, 100, 150, 400, 1000));
+    EXPECT_EQ(t.degree(), 1u);
+    t.updatePeriod(f.feed(0, 100, 150, 400, 1000));
+    EXPECT_EQ(t.degree(), 0u);
+    t.updatePeriod(f.feed(0, 100, 150, 400, 1000));
+    EXPECT_EQ(t.degree(), 0u); // saturates at 0
+}
+
+TEST(Throttle, LowLowDisablesPrefetching)
+{
+    SimConfig cfg = throttleConfig();
+    ThrottleEngine t(cfg);
+    SnapshotFeeder f;
+    // Warm up the merge EWMA at a high value first.
+    t.updatePeriod(f.feed(0, 100, 150, 400, 1000));
+    // Then: no early evictions AND negligible merging (Table I row 4).
+    for (int i = 0; i < 6; ++i)
+        t.updatePeriod(f.feed(0, 100, 150, 0, 100000));
+    EXPECT_EQ(t.degree(), ThrottleEngine::noPrefetchDegree);
+}
+
+TEST(Throttle, PrefetchCacheHitsCountTowardMergeRatio)
+{
+    SimConfig cfg = throttleConfig();
+    ThrottleEngine t(cfg);
+    SnapshotFeeder f;
+    // Perfectly covered flow: no merges at the MSHR, but every demand
+    // hits the prefetch cache. The engine must keep prefetching.
+    for (int i = 0; i < 4; ++i)
+        t.updatePeriod(f.feed(0, 900, 1000, 0, 1100, /*hits=*/900));
+    EXPECT_EQ(t.degree(), 0u);
+}
+
+TEST(Throttle, ColdStartProbesInsteadOfJudging)
+{
+    SimConfig cfg = throttleConfig();
+    ThrottleEngine t(cfg);
+    SnapshotFeeder f;
+    // Fills issued but none consumed yet (cold start): unobservable;
+    // the degree walks down rather than tripping the Low/Low rule.
+    t.updatePeriod(f.feed(0, 0, 100, 0, 1000));
+    EXPECT_EQ(t.degree(), 1u);
+    t.updatePeriod(f.feed(0, 0, 100, 0, 1000));
+    EXPECT_EQ(t.degree(), 0u);
+}
+
+TEST(Throttle, ProbeBackoffGrowsWhileHarmful)
+{
+    SimConfig cfg = throttleConfig();
+    ThrottleEngine t(cfg);
+    SnapshotFeeder f;
+    // Harmful period: disabled, probe backoff doubles to 2.
+    t.updatePeriod(f.feed(500, 10, 600, 0, 1000));
+    ASSERT_EQ(t.degree(), ThrottleEngine::noPrefetchDegree);
+    // Two idle periods are now needed before the first probe.
+    t.updatePeriod(f.feed(0, 0, 0, 0, 1000));
+    EXPECT_EQ(t.degree(), ThrottleEngine::noPrefetchDegree);
+    t.updatePeriod(f.feed(0, 0, 0, 0, 1000));
+    EXPECT_EQ(t.degree(), ThrottleEngine::noPrefetchDegree - 1);
+    // Re-confirmed harmful: backoff doubles to 4.
+    t.updatePeriod(f.feed(500, 10, 600, 0, 1000));
+    ASSERT_EQ(t.degree(), ThrottleEngine::noPrefetchDegree);
+    for (int i = 0; i < 3; ++i) {
+        t.updatePeriod(f.feed(0, 0, 0, 0, 1000));
+        EXPECT_EQ(t.degree(), ThrottleEngine::noPrefetchDegree);
+    }
+    t.updatePeriod(f.feed(0, 0, 0, 0, 1000));
+    EXPECT_EQ(t.degree(), ThrottleEngine::noPrefetchDegree - 1);
+}
+
+TEST(Throttle, MergeRatioUsesEq8Average)
+{
+    SimConfig cfg = throttleConfig();
+    ThrottleEngine t(cfg);
+    SnapshotFeeder f;
+    t.updatePeriod(f.feed(0, 100, 150, 400, 1000)); // monitored 0.4
+    EXPECT_NEAR(t.currentMergeRatio(), 0.4, 1e-9);  // seeded
+    t.updatePeriod(f.feed(0, 100, 150, 0, 1000));   // monitored 0.0
+    EXPECT_NEAR(t.currentMergeRatio(), 0.2, 1e-9);  // (0.4 + 0) / 2
+}
+
+TEST(Throttle, ExportStats)
+{
+    SimConfig cfg = throttleConfig();
+    ThrottleEngine t(cfg);
+    t.shouldDrop();
+    StatSet s;
+    t.exportStats(s, "th");
+    EXPECT_TRUE(s.has("th.degree"));
+    EXPECT_DOUBLE_EQ(s.get("th.dropped") + s.get("th.allowed"), 1.0);
+}
+
+TEST(LatenessThrottle, RampsWithLateFraction)
+{
+    LatenessThrottle t;
+    EXPECT_EQ(t.level(), 0u);
+    t.updatePeriod(0.9);
+    t.updatePeriod(0.9);
+    EXPECT_EQ(t.level(), 2u);
+    t.updatePeriod(0.3); // between bounds: hold
+    EXPECT_EQ(t.level(), 2u);
+    t.updatePeriod(0.05);
+    EXPECT_EQ(t.level(), 1u);
+    for (int i = 0; i < 10; ++i)
+        t.updatePeriod(0.9);
+    EXPECT_EQ(t.level(), LatenessThrottle::maxLevel);
+    unsigned dropped = 0;
+    for (int i = 0; i < 100; ++i)
+        dropped += t.shouldDrop() ? 1 : 0;
+    EXPECT_EQ(dropped, 100u);
+}
+
+} // namespace
+} // namespace mtp

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * End-to-end behaviours the paper's evaluation rests on, checked on
+ * scaled-down workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.hh"
+
+namespace mtp {
+namespace {
+
+constexpr unsigned kScale = 32; // small grids: seconds for the suite
+
+SimConfig
+benchConfig()
+{
+    SimConfig cfg; // full Table II machine
+    cfg.throttlePeriod = 5000;
+    return cfg;
+}
+
+TEST(EndToEnd, PerfectMemoryCpiNearFour)
+{
+    // Table III: perfect-memory CPI ~4.2 across the suite.
+    SimConfig cfg = benchConfig();
+    cfg.perfectMemory = true;
+    for (const char *name : {"backprop", "scalar", "ocean"}) {
+        RunResult r = simulate(cfg, Suite::get(name, kScale).kernel);
+        EXPECT_GT(r.cpi, 3.8) << name;
+        EXPECT_LT(r.cpi, 6.5) << name;
+    }
+}
+
+TEST(EndToEnd, MemoryIntensityCriterion)
+{
+    // The paper classifies benchmarks as memory-intensive when base
+    // CPI is 50% above perfect-memory CPI.
+    SimConfig cfg = benchConfig();
+    SimConfig pmem = cfg;
+    pmem.perfectMemory = true;
+    KernelDesc k = Suite::get("stream", kScale).kernel;
+    RunResult base = simulate(cfg, k);
+    RunResult perfect = simulate(pmem, k);
+    EXPECT_GT(base.cpi, 1.5 * perfect.cpi);
+}
+
+TEST(EndToEnd, StridePrefetchingSpeedsUpStrideType)
+{
+    SimConfig cfg = benchConfig();
+    Workload w = Suite::get("monte", kScale);
+    RunResult base = simulate(cfg, w.kernel);
+    RunResult pref = simulate(cfg, w.variant(SwPrefKind::Stride));
+    EXPECT_GT(static_cast<double>(base.cycles) / pref.cycles, 1.15);
+    EXPECT_GT(pref.accuracy(), 0.5);
+}
+
+TEST(EndToEnd, InterThreadPrefetchingSpeedsUpMpType)
+{
+    SimConfig cfg = benchConfig();
+    Workload w = Suite::get("backprop", kScale);
+    RunResult base = simulate(cfg, w.kernel);
+    RunResult pref = simulate(cfg, w.variant(SwPrefKind::IP));
+    EXPECT_GT(static_cast<double>(base.cycles) / pref.cycles, 1.1);
+}
+
+TEST(EndToEnd, MtHwpSpeedsUpLatencyBoundKernels)
+{
+    SimConfig cfg = benchConfig();
+    SimConfig hw = cfg;
+    hw.hwPref = HwPrefKind::MTHWP;
+    Workload w = Suite::get("cfd", kScale);
+    RunResult base = simulate(cfg, w.kernel);
+    RunResult pref = simulate(hw, w.kernel);
+    EXPECT_GT(static_cast<double>(base.cycles) / pref.cycles, 1.3);
+}
+
+TEST(EndToEnd, StreamHasLatePrefetches)
+{
+    // Sec. VII-A: 90% of stream's prefetches are late; prefetching
+    // degrades it before throttling.
+    SimConfig cfg = benchConfig();
+    Workload w = Suite::get("stream", kScale);
+    RunResult base = simulate(cfg, w.kernel);
+    RunResult pref = simulate(cfg, w.variant(SwPrefKind::Stride));
+    EXPECT_LT(static_cast<double>(base.cycles) / pref.cycles, 1.0);
+    EXPECT_GT(pref.lateRatio() + pref.earlyRatio(), 0.8);
+}
+
+TEST(EndToEnd, ThrottlingRescuesHarmfulPrefetching)
+{
+    SimConfig cfg = benchConfig();
+    cfg.hwPref = HwPrefKind::MTHWP;
+    Workload w = Suite::get("stream", kScale);
+    RunResult base =
+        simulate(benchConfig(), w.kernel); // no prefetching
+    RunResult pref = simulate(cfg, w.kernel);
+    SimConfig thr = cfg;
+    thr.throttleEnable = true;
+    RunResult throttled = simulate(thr, w.kernel);
+    // Throttling must recover part of the loss.
+    EXPECT_LT(throttled.cycles, pref.cycles);
+    (void)base;
+}
+
+TEST(EndToEnd, PrefetchingIncreasesAvgMemoryLatency)
+{
+    // Fig. 8: average (demand) memory latency grows under software
+    // prefetching even at high accuracy.
+    SimConfig cfg = benchConfig();
+    Workload w = Suite::get("stream", kScale);
+    RunResult base = simulate(cfg, w.kernel);
+    RunResult pref = simulate(cfg, w.variant(SwPrefKind::StrideIP));
+    EXPECT_GT(pref.avgDemandLatency, base.avgDemandLatency);
+}
+
+TEST(EndToEnd, WarpIdTrainingBeatsNaiveOnManyWarps)
+{
+    SimConfig naive = benchConfig();
+    naive.hwPref = HwPrefKind::StridePC;
+    naive.hwPrefWarpTraining = false;
+    SimConfig warped = naive;
+    warped.hwPrefWarpTraining = true;
+    KernelDesc k = Suite::get("mersenne", kScale).kernel;
+    RunResult n = simulate(naive, k);
+    RunResult w = simulate(warped, k);
+    EXPECT_LE(w.cycles, n.cycles);
+    EXPECT_GT(w.prefCoverage(), n.prefCoverage());
+}
+
+TEST(EndToEnd, NonMemoryIntensiveUnaffectedByPrefetching)
+{
+    // Table IV: hardware prefetching does not move compute benchmarks.
+    SimConfig cfg = benchConfig();
+    SimConfig hw = cfg;
+    hw.hwPref = HwPrefKind::MTHWP;
+    KernelDesc k = Suite::get("binomial", kScale).kernel;
+    RunResult base = simulate(cfg, k);
+    RunResult pref = simulate(hw, k);
+    double ratio = static_cast<double>(base.cycles) / pref.cycles;
+    EXPECT_GT(ratio, 0.95);
+    EXPECT_LT(ratio, 1.25);
+}
+
+TEST(EndToEnd, MtamlModelSeparatesBenchmarkClasses)
+{
+    // The model's tolerance bar (Eq. 1) must sit far below the
+    // measured latency for a memory-bound kernel and far above zero
+    // slack for a compute-rich one.
+    SimConfig cfg = benchConfig();
+
+    Workload mem = Suite::get("stream", kScale);
+    RunResult mem_r = simulate(cfg, mem.kernel);
+    MtamlInputs mem_in;
+    mem_in.compInsts =
+        static_cast<double>(mem.kernel.warpInstsPerWarp() -
+                            mem.kernel.memInstsPerWarp());
+    mem_in.memInsts = static_cast<double>(mem.kernel.memInstsPerWarp());
+    mem_in.activeWarps = mem_r.avgActiveWarps;
+    EXPECT_LT(mtaml(mem_in), mem_r.avgDemandLatency);
+
+    Workload comp = Suite::get("binomial", kScale);
+    RunResult comp_r = simulate(cfg, comp.kernel);
+    MtamlInputs comp_in;
+    comp_in.compInsts =
+        static_cast<double>(comp.kernel.warpInstsPerWarp() -
+                            comp.kernel.memInstsPerWarp());
+    comp_in.memInsts =
+        static_cast<double>(comp.kernel.memInstsPerWarp());
+    comp_in.activeWarps = comp_r.avgActiveWarps;
+    // Far larger tolerance relative to its own class.
+    EXPECT_GT(mtaml(comp_in), 5.0 * mtaml(mem_in));
+}
+
+} // namespace
+} // namespace mtp

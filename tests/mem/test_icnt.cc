@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "mem/icnt.hh"
+
+namespace mtp {
+namespace {
+
+TEST(Icnt, FixedLatencyDelivery)
+{
+    Icnt net(2, 20);
+    net.send(0, MemRequest::make(0x000, ReqType::DemandLoad, 0, 5), 5);
+    EXPECT_FALSE(net.frontReady(0, 24));
+    EXPECT_TRUE(net.frontReady(0, 25));
+    EXPECT_FALSE(net.frontReady(1, 100));
+    MemRequest r = net.pop(0);
+    EXPECT_EQ(r.addr, 0x000u);
+    EXPECT_TRUE(net.drained());
+}
+
+TEST(Icnt, OrderPreservedPerDestination)
+{
+    Icnt net(1, 3);
+    net.send(0, MemRequest::make(0x000, ReqType::DemandLoad, 0, 0), 0);
+    net.send(0, MemRequest::make(0x040, ReqType::DemandLoad, 0, 1), 1);
+    EXPECT_EQ(net.inFlight(0), 2u);
+    ASSERT_TRUE(net.frontReady(0, 10));
+    EXPECT_EQ(net.pop(0).addr, 0x000u);
+    EXPECT_EQ(net.pop(0).addr, 0x040u);
+}
+
+TEST(Icnt, UpgradeInFlightPrefetch)
+{
+    Icnt net(1, 10);
+    net.send(0, MemRequest::make(0x080, ReqType::HwPrefetch, 0, 0), 0);
+    EXPECT_TRUE(net.upgradeToDemand(0, 0x080));
+    EXPECT_FALSE(net.upgradeToDemand(0, 0x0c0));
+    MemRequest r = net.pop(0);
+    EXPECT_EQ(r.type, ReqType::DemandLoad);
+    // Upgrading a demand is a no-op.
+    net.send(0, MemRequest::make(0x100, ReqType::DemandLoad, 0, 0), 0);
+    EXPECT_FALSE(net.upgradeToDemand(0, 0x100));
+}
+
+TEST(Icnt, Counters)
+{
+    Icnt net(3, 1);
+    net.send(2, MemRequest::make(0, ReqType::DemandLoad, 0, 0), 0);
+    EXPECT_EQ(net.packetsSent(), 1u);
+    EXPECT_EQ(net.totalInFlight(), 1u);
+    StatSet s;
+    net.exportStats(s, "net");
+    EXPECT_DOUBLE_EQ(s.get("net.packets"), 1.0);
+}
+
+} // namespace
+} // namespace mtp

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hh"
+
+namespace mtp {
+namespace {
+
+TEST(Mshr, DemandAllocateAndRetire)
+{
+    Mshr m(2, 2);
+    Mshr::Waiter w{0, 1, 100};
+    EXPECT_FALSE(m.demandAccess(0x000, w, 100)); // allocated
+    EXPECT_EQ(m.size(), 1u);
+    auto entry = m.retire(0x000);
+    EXPECT_FALSE(entry.prefetch);
+    ASSERT_EQ(entry.waiters.size(), 1u);
+    EXPECT_EQ(entry.waiters[0].slot, 1);
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Mshr, DemandMergesWithInflightDemand)
+{
+    Mshr m(4, 4);
+    m.demandAccess(0x000, {0, 0, 10}, 10);
+    EXPECT_TRUE(m.demandAccess(0x000, {1, 2, 20}, 20)); // merged
+    EXPECT_EQ(m.counters().merges, 1u);
+    EXPECT_EQ(m.counters().demandIntoPref, 0u);
+    auto entry = m.retire(0x000);
+    EXPECT_EQ(entry.waiters.size(), 2u);
+}
+
+TEST(Mshr, DemandJoiningPrefetchIsLate)
+{
+    Mshr m(4, 4);
+    EXPECT_FALSE(m.prefetchAccess(0x040, 5));
+    EXPECT_TRUE(m.demandAccess(0x040, {0, 0, 9}, 9));
+    EXPECT_EQ(m.counters().demandIntoPref, 1u);
+    // A second demand join is a merge but not a second "late".
+    m.demandAccess(0x040, {0, 1, 11}, 11);
+    EXPECT_EQ(m.counters().demandIntoPref, 1u);
+    auto entry = m.retire(0x040);
+    EXPECT_TRUE(entry.prefetch);
+    EXPECT_TRUE(entry.demandJoined);
+    EXPECT_EQ(entry.waiters.size(), 2u);
+}
+
+TEST(Mshr, RedundantPrefetchDropped)
+{
+    Mshr m(4, 4);
+    m.demandAccess(0x080, {0, 0, 0}, 0);
+    EXPECT_TRUE(m.prefetchAccess(0x080, 1)); // redundant
+    EXPECT_EQ(m.counters().prefDroppedInflight, 1u);
+    m.prefetchAccess(0x0c0, 1);
+    EXPECT_TRUE(m.prefetchAccess(0x0c0, 2)); // redundant with prefetch
+    EXPECT_EQ(m.counters().prefDroppedInflight, 2u);
+}
+
+TEST(Mshr, SeparateCapacities)
+{
+    Mshr m(1, 1);
+    m.demandAccess(0x000, {0, 0, 0}, 0);
+    EXPECT_TRUE(m.full());
+    EXPECT_FALSE(m.prefetchFull()); // prefetch pool independent
+    m.prefetchAccess(0x040, 0);
+    EXPECT_TRUE(m.prefetchFull());
+    m.retire(0x000);
+    EXPECT_FALSE(m.full());
+    EXPECT_TRUE(m.prefetchFull());
+    m.retire(0x040);
+    EXPECT_FALSE(m.prefetchFull());
+}
+
+TEST(Mshr, TotalRequestsCountsAllLookups)
+{
+    Mshr m(4, 4);
+    m.demandAccess(0x000, {0, 0, 0}, 0);
+    m.demandAccess(0x000, {0, 1, 0}, 0);
+    m.prefetchAccess(0x040, 0);
+    EXPECT_EQ(m.counters().totalRequests, 3u);
+    m.noteFullStall();
+    EXPECT_EQ(m.counters().fullStalls, 1u);
+}
+
+} // namespace
+} // namespace mtp

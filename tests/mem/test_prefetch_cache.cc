@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "mem/prefetch_cache.hh"
+
+namespace mtp {
+namespace {
+
+TEST(PrefetchCache, FillAndFirstUseHit)
+{
+    PrefetchCache pc(1024, 2);
+    EXPECT_FALSE(pc.demandAccess(0x100));
+    EXPECT_EQ(pc.counters().demandMisses, 1u);
+    pc.fill(0x100);
+    EXPECT_TRUE(pc.demandAccess(0x100));
+    EXPECT_EQ(pc.counters().useful, 1u);
+    EXPECT_EQ(pc.counters().demandHits, 1u);
+    // Second hit on the same block is a hit but not "useful" again.
+    EXPECT_TRUE(pc.demandAccess(0x104));
+    EXPECT_EQ(pc.counters().useful, 1u);
+    EXPECT_EQ(pc.counters().demandHits, 2u);
+}
+
+TEST(PrefetchCache, EarlyEvictionCountsUnusedVictims)
+{
+    PrefetchCache pc(128, 1); // 2 blocks, direct mapped, 2 sets
+    // Two blocks in the same set.
+    Addr a = 0, b = 2 * blockBytes;
+    pc.fill(a);
+    pc.fill(b); // evicts a unused -> early eviction
+    EXPECT_EQ(pc.counters().earlyEvictions, 1u);
+    // Use b, then evict it: not an early eviction.
+    EXPECT_TRUE(pc.demandAccess(b));
+    pc.fill(a);
+    EXPECT_EQ(pc.counters().earlyEvictions, 1u);
+}
+
+TEST(PrefetchCache, RedundantFillRefreshesKeepsUsedBit)
+{
+    PrefetchCache pc(1024, 2);
+    pc.fill(0x200);
+    EXPECT_TRUE(pc.demandAccess(0x200));
+    pc.fill(0x200); // redundant
+    EXPECT_EQ(pc.counters().redundantFills, 1u);
+    // Still counts as used: evicting it later is not early.
+    EXPECT_TRUE(pc.demandAccess(0x200));
+    EXPECT_EQ(pc.counters().useful, 1u);
+}
+
+TEST(PrefetchCache, ResetKeepsCounters)
+{
+    PrefetchCache pc(1024, 2);
+    pc.fill(0x300);
+    pc.reset();
+    EXPECT_FALSE(pc.contains(0x300));
+    EXPECT_EQ(pc.counters().fills, 1u); // counters persist
+}
+
+TEST(PrefetchCache, ExportStats)
+{
+    PrefetchCache pc(1024, 2);
+    pc.fill(0x400);
+    pc.demandAccess(0x400);
+    StatSet s;
+    pc.exportStats(s, "pc");
+    EXPECT_DOUBLE_EQ(s.get("pc.fills"), 1.0);
+    EXPECT_DOUBLE_EQ(s.get("pc.useful"), 1.0);
+    EXPECT_DOUBLE_EQ(s.get("pc.demandMisses"), 0.0);
+}
+
+/** Invariant: useful + earlyEvictions never exceeds fills. */
+TEST(PrefetchCache, AccountingInvariant)
+{
+    PrefetchCache pc(256, 2);
+    std::uint64_t salt = 0x9e3779b9;
+    for (unsigned i = 0; i < 500; ++i) {
+        Addr a = ((i * salt) % 64) * blockBytes;
+        if (i % 3 == 0)
+            pc.fill(a);
+        else
+            pc.demandAccess(a);
+        const auto &c = pc.counters();
+        EXPECT_LE(c.useful + c.earlyEvictions,
+                  c.fills - c.redundantFills);
+    }
+}
+
+} // namespace
+} // namespace mtp

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "sim/warp.hh"
+#include "tests/test_helpers.hh"
+
+namespace mtp {
+namespace {
+
+TEST(Warp, AssignInitializesState)
+{
+    KernelDesc k = test::tinyMpKernel();
+    Warp w;
+    w.assign(&k, /*gwid=*/10, /*block=*/5);
+    EXPECT_TRUE(w.active);
+    EXPECT_EQ(w.globalWid, 10u);
+    EXPECT_EQ(w.lane0Tid, 10u * warpSize);
+    EXPECT_EQ(w.block, 5u);
+    EXPECT_EQ(w.outstandingTotal(), 0u);
+    EXPECT_FALSE(w.cursor.done());
+}
+
+TEST(Warp, ScoreboardBlocksDependents)
+{
+    KernelDesc k = test::tinyMpKernel();
+    Warp w;
+    w.assign(&k, 0, 0);
+    StaticInst use = StaticInst::compUse(0);
+    EXPECT_TRUE(w.depsReady(use));
+    w.outstanding[0] = 2;
+    EXPECT_FALSE(w.depsReady(use));
+    w.outstanding[0] = 0;
+    EXPECT_TRUE(w.depsReady(use));
+}
+
+TEST(Warp, RelaxedSlotToleratesOneWriter)
+{
+    KernelDesc k = test::tinyMpKernel();
+    Warp w;
+    w.assign(&k, 0, 0);
+    w.relaxedSlot[3] = true;
+    w.outstanding[3] = 1;
+    StaticInst use = StaticInst::compUse(3);
+    EXPECT_TRUE(w.depsReady(use)); // register-prefetch pipelining
+    w.outstanding[3] = 2;
+    EXPECT_FALSE(w.depsReady(use));
+}
+
+TEST(Warp, RetirableRequiresDoneAndDrained)
+{
+    KernelDesc k = test::tinyComputeKernel(1, 1, 2);
+    Warp w;
+    w.assign(&k, 0, 0);
+    EXPECT_FALSE(w.retirable()); // not done
+    w.cursor.advance();
+    w.cursor.advance();
+    ASSERT_TRUE(w.cursor.done());
+    w.outstanding[2] = 1;
+    EXPECT_FALSE(w.retirable()); // load in flight
+    w.outstanding[2] = 0;
+    EXPECT_TRUE(w.retirable());
+}
+
+TEST(Warp, MultipleSourceSlots)
+{
+    KernelDesc k = test::tinyMpKernel();
+    Warp w;
+    w.assign(&k, 0, 0);
+    StaticInst use = StaticInst::compUse(1, 2);
+    w.outstanding[2] = 1;
+    EXPECT_FALSE(w.depsReady(use));
+    w.outstanding[2] = 0;
+    w.outstanding[1] = 1;
+    EXPECT_FALSE(w.depsReady(use));
+}
+
+} // namespace
+} // namespace mtp

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shared fixtures for the mtprefetch test suite: small kernels and
+ * configurations that simulate in milliseconds.
+ */
+
+#ifndef MTP_TESTS_TEST_HELPERS_HH
+#define MTP_TESTS_TEST_HELPERS_HH
+
+#include "mtprefetch/mtprefetch.hh"
+
+namespace mtp {
+namespace test {
+
+/** A small configuration: 2 cores, short queues, fast to simulate. */
+inline SimConfig
+tinyConfig()
+{
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.dramChannels = 2;
+    cfg.memLatencyExtra = 100;
+    cfg.throttlePeriod = 2000;
+    cfg.maxCycles = 5'000'000;
+    return cfg;
+}
+
+/**
+ * A tiny streaming kernel: `loads` coalesced loads per loop iteration,
+ * a consumer, a store, and a back-edge, over `trips` iterations.
+ */
+inline KernelDesc
+tinyStreamKernel(unsigned warps_per_block = 2, std::uint64_t blocks = 4,
+                 unsigned trips = 4, unsigned loads = 1,
+                 Stride iter_stride = 4096)
+{
+    KernelDesc k;
+    k.name = "tiny_stream";
+    k.warpsPerBlock = warps_per_block;
+    k.numBlocks = blocks;
+    k.maxBlocksPerCore = 2;
+
+    Segment loop;
+    loop.trips = trips;
+    for (unsigned l = 0; l < loads; ++l) {
+        AddressPattern p;
+        p.base = 0x1000'0000ULL + l * 0x100'0000ULL;
+        p.threadStride = 4;
+        p.iterStride = iter_stride;
+        loop.insts.push_back(StaticInst::load(p, static_cast<int>(l)));
+    }
+    loop.insts.push_back(StaticInst::compUse(0, -1, 2));
+    AddressPattern st;
+    st.base = 0x2000'0000ULL;
+    st.threadStride = 4;
+    st.iterStride = iter_stride;
+    loop.insts.push_back(StaticInst::store(st, 0));
+    loop.insts.push_back(StaticInst::branch());
+    k.segments.push_back(loop);
+    k.finalize();
+    return k;
+}
+
+/** A loop-free kernel (mp-type shape): load, compute, store. */
+inline KernelDesc
+tinyMpKernel(unsigned warps_per_block = 2, std::uint64_t blocks = 8)
+{
+    KernelDesc k;
+    k.name = "tiny_mp";
+    k.warpsPerBlock = warps_per_block;
+    k.numBlocks = blocks;
+    k.maxBlocksPerCore = 2;
+
+    Segment body;
+    body.insts.push_back(StaticInst::comp(1));
+    AddressPattern p;
+    p.base = 0x3000'0000ULL;
+    p.threadStride = 4;
+    body.insts.push_back(StaticInst::load(p, 0));
+    body.insts.push_back(StaticInst::compUse(0, -1, 2));
+    AddressPattern st;
+    st.base = 0x4000'0000ULL;
+    st.threadStride = 4;
+    body.insts.push_back(StaticInst::store(st, 0));
+    k.segments.push_back(body);
+    k.finalize();
+    return k;
+}
+
+/** A compute-only kernel (no memory instructions at all). */
+inline KernelDesc
+tinyComputeKernel(unsigned warps_per_block = 2, std::uint64_t blocks = 4,
+                  unsigned comp = 16)
+{
+    KernelDesc k;
+    k.name = "tiny_compute";
+    k.warpsPerBlock = warps_per_block;
+    k.numBlocks = blocks;
+    k.maxBlocksPerCore = 2;
+    Segment body;
+    body.insts.push_back(StaticInst::comp(comp));
+    k.segments.push_back(body);
+    k.finalize();
+    return k;
+}
+
+/** Observation wrapper for driving prefetchers directly in tests. */
+class ObsDriver
+{
+  public:
+    /** Feed one access; @return the prefetch addresses it generated. */
+    std::vector<Addr>
+    observe(HwPrefetcher &pref, Pc pc, std::uint64_t wid, Addr lead,
+            std::vector<MemTxn> txns = {})
+    {
+        if (txns.empty())
+            txns.push_back({blockAlign(lead), blockBytes});
+        out_.clear();
+        PrefObservation obs{pc, static_cast<std::uint32_t>(wid), wid,
+                            lead, &txns};
+        pref.observe(obs, out_);
+        return out_;
+    }
+
+  private:
+    std::vector<Addr> out_;
+};
+
+} // namespace test
+} // namespace mtp
+
+#endif // MTP_TESTS_TEST_HELPERS_HH

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "trace/address_pattern.hh"
+
+namespace mtp {
+namespace {
+
+TEST(AddressPattern, RegularAffine)
+{
+    AddressPattern p;
+    p.base = 0x1000;
+    p.threadStride = 4;
+    p.iterStride = 256;
+    EXPECT_EQ(p.laneAddr(0, 0), 0x1000u);
+    EXPECT_EQ(p.laneAddr(1, 0), 0x1004u);
+    EXPECT_EQ(p.laneAddr(0, 2), 0x1000u + 512);
+    EXPECT_EQ(p.laneAddr(3, 1), 0x1000u + 12 + 256);
+}
+
+TEST(AddressPattern, ShiftedByWarps)
+{
+    AddressPattern p;
+    p.base = 0;
+    p.threadStride = 4;
+    AddressPattern q = p.shiftedByWarps(2);
+    // Thread tid's address in q equals thread tid+64's address in p.
+    EXPECT_EQ(q.laneAddr(0, 0), p.laneAddr(2 * warpSize, 0));
+    EXPECT_EQ(q.laneAddr(5, 0), p.laneAddr(5 + 2 * warpSize, 0));
+}
+
+TEST(AddressPattern, ShiftedByIters)
+{
+    AddressPattern p;
+    p.base = 0x100;
+    p.threadStride = 4;
+    p.iterStride = 1024;
+    AddressPattern q = p.shiftedByIters(3);
+    EXPECT_EQ(q.laneAddr(7, 0), p.laneAddr(7, 3));
+    EXPECT_EQ(q.laneAddr(7, 5), p.laneAddr(7, 8));
+}
+
+TEST(AddressPattern, ScatterDeterministicAndBounded)
+{
+    AddressPattern p;
+    p.base = 0x10000;
+    p.threadStride = 64;
+    p.elemBytes = 4;
+    p.scatterFrac = 0.5;
+    p.scatterSpan = 1 << 20;
+    p.scatterSalt = 3;
+    unsigned scattered = 0;
+    for (std::uint64_t tid = 0; tid < 1000; ++tid) {
+        Addr a = p.laneAddr(tid, 0);
+        EXPECT_EQ(a, p.laneAddr(tid, 0)); // deterministic
+        if (a != p.regularAddr(tid, 0)) {
+            ++scattered;
+            EXPECT_GE(a, p.base);
+            EXPECT_LT(a, p.base + p.scatterSpan);
+        }
+    }
+    // Roughly half the lanes scatter.
+    EXPECT_GT(scattered, 350u);
+    EXPECT_LT(scattered, 650u);
+}
+
+TEST(AddressPattern, ZeroScatterFracNeverScatters)
+{
+    AddressPattern p;
+    p.base = 0;
+    p.threadStride = 8;
+    p.scatterFrac = 0.0;
+    p.scatterSpan = 1 << 20;
+    for (std::uint64_t tid = 0; tid < 100; ++tid)
+        EXPECT_EQ(p.laneAddr(tid, 1), p.regularAddr(tid, 1));
+}
+
+TEST(AddressPattern, SaltDecorrelatesLoads)
+{
+    AddressPattern a, b;
+    a.base = b.base = 0;
+    a.threadStride = b.threadStride = 64;
+    a.scatterFrac = b.scatterFrac = 1.0;
+    a.scatterSpan = b.scatterSpan = 1 << 20;
+    a.scatterSalt = 1;
+    b.scatterSalt = 2;
+    unsigned same = 0;
+    for (std::uint64_t tid = 0; tid < 256; ++tid)
+        same += a.laneAddr(tid, 0) == b.laneAddr(tid, 0) ? 1 : 0;
+    EXPECT_LT(same, 8u);
+}
+
+} // namespace
+} // namespace mtp

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.hh"
+#include "trace/kernel.hh"
+
+namespace mtp {
+namespace {
+
+TEST(Kernel, FinalizeAssignsUniquePcs)
+{
+    KernelDesc k = test::tinyStreamKernel();
+    std::vector<Pc> pcs;
+    for (const auto &seg : k.segments)
+        for (const auto &inst : seg.insts)
+            pcs.push_back(inst.pc);
+    std::sort(pcs.begin(), pcs.end());
+    EXPECT_EQ(std::adjacent_find(pcs.begin(), pcs.end()), pcs.end());
+    EXPECT_NE(pcs.front(), 0u); // 0 is a sentinel
+}
+
+TEST(Kernel, InstructionCounts)
+{
+    KernelDesc k = test::tinyStreamKernel(2, 4, /*trips=*/4, /*loads=*/2);
+    // Per trip: 2 loads + 2 comp (repeat) + store + branch = 6 insts.
+    EXPECT_EQ(k.warpInstsPerWarp(), 4u * 6u);
+    EXPECT_EQ(k.memInstsPerWarp(), 4u * 3u); // 2 loads + 1 store
+    EXPECT_EQ(k.prefInstsPerWarp(), 0u);
+    EXPECT_EQ(k.totalWarps(), 8u);
+    EXPECT_EQ(k.totalThreads(), 8u * warpSize);
+    EXPECT_NEAR(k.compToMemRatio(), (24.0 - 12.0) / 12.0, 1e-9);
+}
+
+TEST(WarpCursor, WalksEveryDynamicInstruction)
+{
+    KernelDesc k = test::tinyStreamKernel(1, 1, 3, 1);
+    WarpCursor cur(&k);
+    std::uint64_t n = 0;
+    std::uint64_t loads = 0;
+    while (!cur.done()) {
+        if (cur.inst().op == Opcode::Load) {
+            ++loads;
+            EXPECT_EQ(cur.iter(), (loads - 1));
+        }
+        ++n;
+        cur.advance();
+    }
+    EXPECT_EQ(n, k.warpInstsPerWarp());
+    EXPECT_EQ(loads, 3u);
+}
+
+TEST(WarpCursor, RepeatCountsAsSeparateInstructions)
+{
+    KernelDesc k;
+    k.name = "rep";
+    k.warpsPerBlock = 1;
+    k.numBlocks = 1;
+    Segment s;
+    s.insts.push_back(StaticInst::comp(5));
+    k.segments.push_back(s);
+    k.finalize();
+    WarpCursor cur(&k);
+    unsigned n = 0;
+    while (!cur.done()) {
+        ++n;
+        cur.advance();
+    }
+    EXPECT_EQ(n, 5u);
+}
+
+TEST(WarpCursor, SkipsEmptySegments)
+{
+    KernelDesc k;
+    k.name = "empty_seg";
+    k.warpsPerBlock = 1;
+    k.numBlocks = 1;
+    Segment empty;
+    Segment body;
+    body.insts.push_back(StaticInst::comp(1));
+    k.segments.push_back(empty);
+    k.segments.push_back(body);
+    k.segments.push_back(empty);
+    k.finalize();
+    WarpCursor cur(&k);
+    EXPECT_FALSE(cur.done());
+    cur.advance();
+    EXPECT_TRUE(cur.done());
+}
+
+TEST(Kernel, LoopStructure)
+{
+    KernelDesc k = test::tinyStreamKernel();
+    EXPECT_TRUE(k.segments[0].isLoop());
+    Segment straight;
+    straight.trips = 1;
+    EXPECT_FALSE(straight.isLoop());
+}
+
+} // namespace
+} // namespace mtp

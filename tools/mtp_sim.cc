@@ -1,0 +1,193 @@
+/**
+ * @file
+ * mtp-sim: command-line front end of the mtprefetch simulator.
+ *
+ *   mtp-sim --list
+ *   mtp-sim --bench backprop --hw mthwp --throttle --scale 8
+ *   mtp-sim --bench scalar --sw stride_ip --stats stats.txt --csv
+ *   mtp-sim --kernel my_kernel.mtk --hw stride_pc numCores=20
+ *   mtp-sim --bench sepia --dump-kernel sepia.mtk
+ *
+ * Runs one simulation and prints the headline summary; optionally
+ * dumps the complete hierarchical statistics as text or CSV.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mtprefetch/mtprefetch.hh"
+#include "trace/kernel_io.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options] [key=value ...]\n"
+        "  --list                 list available benchmarks and exit\n"
+        "  --bench <name>         run a suite benchmark\n"
+        "  --kernel <file>        run a kernel description file\n"
+        "  --sw <kind>            software prefetch transform\n"
+        "                         (none|register|stride|ip|stride_ip)\n"
+        "  --hw <kind>            hardware prefetcher\n"
+        "                         (none|stride_rpt|stride_pc|stream|\n"
+        "                          ghb|mthwp)\n"
+        "  --throttle             enable the adaptive throttle engine\n"
+        "  --scale <N>            grid divisor vs. the paper (default 8)\n"
+        "  --stats <file>         dump full statistics to <file>\n"
+        "  --csv                  CSV statistics instead of text\n"
+        "  --dump-kernel <file>   write the (transformed) kernel and exit\n"
+        "  --quiet                suppress the summary (stats only)\n"
+        "  key=value              override any SimConfig field\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtp;
+
+    std::string bench;
+    std::string kernel_file;
+    std::string stats_file;
+    std::string dump_kernel;
+    SwPrefKind sw = SwPrefKind::None;
+    bool throttle = false;
+    bool csv = false;
+    bool quiet = false;
+    unsigned scale = 8;
+    SimConfig cfg;
+    cfg.throttlePeriod = 5000; // scaled default; overridable below
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                MTP_FATAL(what, " needs an argument");
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            std::printf("memory-intensive (Table III):\n");
+            for (const auto &n : Suite::memoryIntensiveNames()) {
+                Workload w = Suite::get(n, 64);
+                std::printf("  %-10s %-8s %s\n", n.c_str(),
+                            toString(w.info.type).c_str(),
+                            w.info.suite.c_str());
+            }
+            std::printf("non-memory-intensive (Table IV):\n");
+            for (const auto &n : Suite::computeNames())
+                std::printf("  %-10s\n", n.c_str());
+            return 0;
+        } else if (arg == "--bench") {
+            bench = next("--bench");
+        } else if (arg == "--kernel") {
+            kernel_file = next("--kernel");
+        } else if (arg == "--sw") {
+            sw = parseSwPrefKind(next("--sw"));
+        } else if (arg == "--hw") {
+            cfg.hwPref = parseHwPrefKind(next("--hw"));
+        } else if (arg == "--throttle") {
+            throttle = true;
+        } else if (arg == "--scale") {
+            scale = static_cast<unsigned>(
+                std::stoul(next("--scale")));
+        } else if (arg == "--stats") {
+            stats_file = next("--stats");
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--dump-kernel") {
+            dump_kernel = next("--dump-kernel");
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg.find('=') != std::string::npos) {
+            cfg.applyOverride(arg);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 1;
+        }
+    }
+    cfg.throttleEnable = throttle || cfg.throttleEnable;
+
+    if (bench.empty() == kernel_file.empty()) {
+        std::fprintf(stderr,
+                     "exactly one of --bench or --kernel is required\n");
+        usage(argv[0]);
+        return 1;
+    }
+
+    KernelDesc kernel;
+    SwPrefetchOptions swp_opts;
+    if (!bench.empty()) {
+        if (!Suite::has(bench)) {
+            std::fprintf(stderr, "unknown benchmark '%s'\n",
+                         bench.c_str());
+            return 1;
+        }
+        Workload w = Suite::get(bench, scale);
+        swp_opts = w.info.swpOpts;
+        kernel = w.kernel;
+    } else {
+        kernel = readKernelFile(kernel_file);
+    }
+    if (sw != SwPrefKind::None)
+        kernel = applySwPrefetch(kernel, sw, swp_opts);
+
+    if (!dump_kernel.empty()) {
+        std::ofstream out(dump_kernel);
+        if (!out)
+            MTP_FATAL("cannot write '", dump_kernel, "'");
+        writeKernel(out, kernel);
+        std::printf("wrote %s\n", dump_kernel.c_str());
+        return 0;
+    }
+
+    RunResult r = simulate(cfg, kernel);
+
+    if (!quiet) {
+        std::printf("kernel      %s\n", kernel.name.c_str());
+        std::printf("machine     %u cores, hw=%s%s, sw=%s\n",
+                    cfg.numCores, toString(cfg.hwPref).c_str(),
+                    cfg.throttleEnable ? "+throttle" : "",
+                    toString(sw).c_str());
+        std::printf("cycles      %llu\n",
+                    static_cast<unsigned long long>(r.cycles));
+        std::printf("warp insts  %llu (CPI %.3f)\n",
+                    static_cast<unsigned long long>(r.warpInsts), r.cpi);
+        std::printf("mem latency %.1f cycles (prefetch %.1f)\n",
+                    r.avgDemandLatency, r.avgPrefetchLatency);
+        std::printf("dram bytes  %llu (%.2f B/cycle)\n",
+                    static_cast<unsigned long long>(r.dramBytes),
+                    static_cast<double>(r.dramBytes) / r.cycles);
+        if (r.prefFills > 0) {
+            std::printf("prefetching %llu fills, accuracy %.1f%%, "
+                        "coverage %.1f%%, late %.1f%%, early %.1f%%\n",
+                        static_cast<unsigned long long>(r.prefFills),
+                        100.0 * r.accuracy(),
+                        100.0 * r.prefCoverage(),
+                        100.0 * r.lateRatio(), 100.0 * r.earlyRatio());
+        }
+    }
+
+    if (!stats_file.empty()) {
+        std::ofstream out(stats_file);
+        if (!out)
+            MTP_FATAL("cannot write '", stats_file, "'");
+        if (csv)
+            r.stats.dumpCsv(out);
+        else
+            r.stats.dumpText(out);
+        if (!quiet)
+            std::printf("stats       %s (%zu entries)\n",
+                        stats_file.c_str(), r.stats.size());
+    }
+    return 0;
+}
