@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_degree.dir/bench_abl_degree.cc.o"
+  "CMakeFiles/bench_abl_degree.dir/bench_abl_degree.cc.o.d"
+  "bench_abl_degree"
+  "bench_abl_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_mtaml.dir/bench_fig07_mtaml.cc.o"
+  "CMakeFiles/bench_fig07_mtaml.dir/bench_fig07_mtaml.cc.o.d"
+  "bench_fig07_mtaml"
+  "bench_fig07_mtaml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_mtaml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

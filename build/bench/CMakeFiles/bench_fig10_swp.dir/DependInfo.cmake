@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_swp.cc" "bench/CMakeFiles/bench_fig10_swp.dir/bench_fig10_swp.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_swp.dir/bench_fig10_swp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mtp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mtp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mtp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

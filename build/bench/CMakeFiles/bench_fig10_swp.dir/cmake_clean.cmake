@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_swp.dir/bench_fig10_swp.cc.o"
+  "CMakeFiles/bench_fig10_swp.dir/bench_fig10_swp.cc.o.d"
+  "bench_fig10_swp"
+  "bench_fig10_swp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_swp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_swp_throttle.dir/bench_fig11_swp_throttle.cc.o"
+  "CMakeFiles/bench_fig11_swp_throttle.dir/bench_fig11_swp_throttle.cc.o.d"
+  "bench_fig11_swp_throttle"
+  "bench_fig11_swp_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_swp_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_hw_throttle.dir/bench_fig15_hw_throttle.cc.o"
+  "CMakeFiles/bench_fig15_hw_throttle.dir/bench_fig15_hw_throttle.cc.o.d"
+  "bench_fig15_hw_throttle"
+  "bench_fig15_hw_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_hw_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

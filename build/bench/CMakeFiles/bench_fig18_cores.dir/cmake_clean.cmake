@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_cores.dir/bench_fig18_cores.cc.o"
+  "CMakeFiles/bench_fig18_cores.dir/bench_fig18_cores.cc.o.d"
+  "bench_fig18_cores"
+  "bench_fig18_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

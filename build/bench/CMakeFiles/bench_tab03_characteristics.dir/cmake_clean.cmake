@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_characteristics.dir/bench_tab03_characteristics.cc.o"
+  "CMakeFiles/bench_tab03_characteristics.dir/bench_tab03_characteristics.cc.o.d"
+  "bench_tab03_characteristics"
+  "bench_tab03_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

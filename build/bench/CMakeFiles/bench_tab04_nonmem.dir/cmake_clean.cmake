@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_nonmem.dir/bench_tab04_nonmem.cc.o"
+  "CMakeFiles/bench_tab04_nonmem.dir/bench_tab04_nonmem.cc.o.d"
+  "bench_tab04_nonmem"
+  "bench_tab04_nonmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_nonmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

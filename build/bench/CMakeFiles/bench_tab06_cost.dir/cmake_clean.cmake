@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab06_cost.dir/bench_tab06_cost.cc.o"
+  "CMakeFiles/bench_tab06_cost.dir/bench_tab06_cost.cc.o.d"
+  "bench_tab06_cost"
+  "bench_tab06_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab06_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

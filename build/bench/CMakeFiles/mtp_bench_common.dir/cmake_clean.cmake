@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/mtp_bench_common.dir/bench_common.cc.o.d"
+  "libmtp_bench_common.a"
+  "libmtp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throttling_adaptive.dir/throttling_adaptive.cpp.o"
+  "CMakeFiles/throttling_adaptive.dir/throttling_adaptive.cpp.o.d"
+  "throttling_adaptive"
+  "throttling_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throttling_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

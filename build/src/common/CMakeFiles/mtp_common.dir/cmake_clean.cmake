@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_common.dir/config.cc.o"
+  "CMakeFiles/mtp_common.dir/config.cc.o.d"
+  "CMakeFiles/mtp_common.dir/log.cc.o"
+  "CMakeFiles/mtp_common.dir/log.cc.o.d"
+  "CMakeFiles/mtp_common.dir/stats.cc.o"
+  "CMakeFiles/mtp_common.dir/stats.cc.o.d"
+  "libmtp_common.a"
+  "libmtp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

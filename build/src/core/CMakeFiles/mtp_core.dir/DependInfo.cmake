@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ghb.cc" "src/core/CMakeFiles/mtp_core.dir/ghb.cc.o" "gcc" "src/core/CMakeFiles/mtp_core.dir/ghb.cc.o.d"
+  "/root/repo/src/core/mt_hwp.cc" "src/core/CMakeFiles/mtp_core.dir/mt_hwp.cc.o" "gcc" "src/core/CMakeFiles/mtp_core.dir/mt_hwp.cc.o.d"
+  "/root/repo/src/core/mtaml.cc" "src/core/CMakeFiles/mtp_core.dir/mtaml.cc.o" "gcc" "src/core/CMakeFiles/mtp_core.dir/mtaml.cc.o.d"
+  "/root/repo/src/core/prefetcher.cc" "src/core/CMakeFiles/mtp_core.dir/prefetcher.cc.o" "gcc" "src/core/CMakeFiles/mtp_core.dir/prefetcher.cc.o.d"
+  "/root/repo/src/core/stream_prefetcher.cc" "src/core/CMakeFiles/mtp_core.dir/stream_prefetcher.cc.o" "gcc" "src/core/CMakeFiles/mtp_core.dir/stream_prefetcher.cc.o.d"
+  "/root/repo/src/core/stride_pc.cc" "src/core/CMakeFiles/mtp_core.dir/stride_pc.cc.o" "gcc" "src/core/CMakeFiles/mtp_core.dir/stride_pc.cc.o.d"
+  "/root/repo/src/core/stride_rpt.cc" "src/core/CMakeFiles/mtp_core.dir/stride_rpt.cc.o" "gcc" "src/core/CMakeFiles/mtp_core.dir/stride_rpt.cc.o.d"
+  "/root/repo/src/core/sw_prefetch.cc" "src/core/CMakeFiles/mtp_core.dir/sw_prefetch.cc.o" "gcc" "src/core/CMakeFiles/mtp_core.dir/sw_prefetch.cc.o.d"
+  "/root/repo/src/core/throttle.cc" "src/core/CMakeFiles/mtp_core.dir/throttle.cc.o" "gcc" "src/core/CMakeFiles/mtp_core.dir/throttle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mtp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mtp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_core.dir/ghb.cc.o"
+  "CMakeFiles/mtp_core.dir/ghb.cc.o.d"
+  "CMakeFiles/mtp_core.dir/mt_hwp.cc.o"
+  "CMakeFiles/mtp_core.dir/mt_hwp.cc.o.d"
+  "CMakeFiles/mtp_core.dir/mtaml.cc.o"
+  "CMakeFiles/mtp_core.dir/mtaml.cc.o.d"
+  "CMakeFiles/mtp_core.dir/prefetcher.cc.o"
+  "CMakeFiles/mtp_core.dir/prefetcher.cc.o.d"
+  "CMakeFiles/mtp_core.dir/stream_prefetcher.cc.o"
+  "CMakeFiles/mtp_core.dir/stream_prefetcher.cc.o.d"
+  "CMakeFiles/mtp_core.dir/stride_pc.cc.o"
+  "CMakeFiles/mtp_core.dir/stride_pc.cc.o.d"
+  "CMakeFiles/mtp_core.dir/stride_rpt.cc.o"
+  "CMakeFiles/mtp_core.dir/stride_rpt.cc.o.d"
+  "CMakeFiles/mtp_core.dir/sw_prefetch.cc.o"
+  "CMakeFiles/mtp_core.dir/sw_prefetch.cc.o.d"
+  "CMakeFiles/mtp_core.dir/throttle.cc.o"
+  "CMakeFiles/mtp_core.dir/throttle.cc.o.d"
+  "libmtp_core.a"
+  "libmtp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtp_core.a"
+)

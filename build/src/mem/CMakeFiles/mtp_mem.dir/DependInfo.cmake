@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/mtp_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/mtp_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/mtp_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/mtp_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/icnt.cc" "src/mem/CMakeFiles/mtp_mem.dir/icnt.cc.o" "gcc" "src/mem/CMakeFiles/mtp_mem.dir/icnt.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/mem/CMakeFiles/mtp_mem.dir/mem_system.cc.o" "gcc" "src/mem/CMakeFiles/mtp_mem.dir/mem_system.cc.o.d"
+  "/root/repo/src/mem/mrq.cc" "src/mem/CMakeFiles/mtp_mem.dir/mrq.cc.o" "gcc" "src/mem/CMakeFiles/mtp_mem.dir/mrq.cc.o.d"
+  "/root/repo/src/mem/mshr.cc" "src/mem/CMakeFiles/mtp_mem.dir/mshr.cc.o" "gcc" "src/mem/CMakeFiles/mtp_mem.dir/mshr.cc.o.d"
+  "/root/repo/src/mem/prefetch_cache.cc" "src/mem/CMakeFiles/mtp_mem.dir/prefetch_cache.cc.o" "gcc" "src/mem/CMakeFiles/mtp_mem.dir/prefetch_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_mem.dir/cache.cc.o"
+  "CMakeFiles/mtp_mem.dir/cache.cc.o.d"
+  "CMakeFiles/mtp_mem.dir/dram.cc.o"
+  "CMakeFiles/mtp_mem.dir/dram.cc.o.d"
+  "CMakeFiles/mtp_mem.dir/icnt.cc.o"
+  "CMakeFiles/mtp_mem.dir/icnt.cc.o.d"
+  "CMakeFiles/mtp_mem.dir/mem_system.cc.o"
+  "CMakeFiles/mtp_mem.dir/mem_system.cc.o.d"
+  "CMakeFiles/mtp_mem.dir/mrq.cc.o"
+  "CMakeFiles/mtp_mem.dir/mrq.cc.o.d"
+  "CMakeFiles/mtp_mem.dir/mshr.cc.o"
+  "CMakeFiles/mtp_mem.dir/mshr.cc.o.d"
+  "CMakeFiles/mtp_mem.dir/prefetch_cache.cc.o"
+  "CMakeFiles/mtp_mem.dir/prefetch_cache.cc.o.d"
+  "libmtp_mem.a"
+  "libmtp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/mtp_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/mtp_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/sim/CMakeFiles/mtp_sim.dir/gpu.cc.o" "gcc" "src/sim/CMakeFiles/mtp_sim.dir/gpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mtp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mtp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

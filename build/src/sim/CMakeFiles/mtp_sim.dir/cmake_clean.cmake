@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_sim.dir/core.cc.o"
+  "CMakeFiles/mtp_sim.dir/core.cc.o.d"
+  "CMakeFiles/mtp_sim.dir/gpu.cc.o"
+  "CMakeFiles/mtp_sim.dir/gpu.cc.o.d"
+  "libmtp_sim.a"
+  "libmtp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_trace.dir/address_pattern.cc.o"
+  "CMakeFiles/mtp_trace.dir/address_pattern.cc.o.d"
+  "CMakeFiles/mtp_trace.dir/coalescer.cc.o"
+  "CMakeFiles/mtp_trace.dir/coalescer.cc.o.d"
+  "CMakeFiles/mtp_trace.dir/kernel.cc.o"
+  "CMakeFiles/mtp_trace.dir/kernel.cc.o.d"
+  "CMakeFiles/mtp_trace.dir/kernel_io.cc.o"
+  "CMakeFiles/mtp_trace.dir/kernel_io.cc.o.d"
+  "libmtp_trace.a"
+  "libmtp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

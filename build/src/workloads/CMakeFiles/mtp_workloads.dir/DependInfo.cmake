@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/compute_suite.cc" "src/workloads/CMakeFiles/mtp_workloads.dir/compute_suite.cc.o" "gcc" "src/workloads/CMakeFiles/mtp_workloads.dir/compute_suite.cc.o.d"
+  "/root/repo/src/workloads/mp_suite.cc" "src/workloads/CMakeFiles/mtp_workloads.dir/mp_suite.cc.o" "gcc" "src/workloads/CMakeFiles/mtp_workloads.dir/mp_suite.cc.o.d"
+  "/root/repo/src/workloads/stride_suite.cc" "src/workloads/CMakeFiles/mtp_workloads.dir/stride_suite.cc.o" "gcc" "src/workloads/CMakeFiles/mtp_workloads.dir/stride_suite.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/mtp_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/mtp_workloads.dir/suite.cc.o.d"
+  "/root/repo/src/workloads/uncoal_suite.cc" "src/workloads/CMakeFiles/mtp_workloads.dir/uncoal_suite.cc.o" "gcc" "src/workloads/CMakeFiles/mtp_workloads.dir/uncoal_suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mtp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mtp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_workloads.dir/compute_suite.cc.o"
+  "CMakeFiles/mtp_workloads.dir/compute_suite.cc.o.d"
+  "CMakeFiles/mtp_workloads.dir/mp_suite.cc.o"
+  "CMakeFiles/mtp_workloads.dir/mp_suite.cc.o.d"
+  "CMakeFiles/mtp_workloads.dir/stride_suite.cc.o"
+  "CMakeFiles/mtp_workloads.dir/stride_suite.cc.o.d"
+  "CMakeFiles/mtp_workloads.dir/suite.cc.o"
+  "CMakeFiles/mtp_workloads.dir/suite.cc.o.d"
+  "CMakeFiles/mtp_workloads.dir/uncoal_suite.cc.o"
+  "CMakeFiles/mtp_workloads.dir/uncoal_suite.cc.o.d"
+  "libmtp_workloads.a"
+  "libmtp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

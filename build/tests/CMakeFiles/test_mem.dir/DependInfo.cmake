@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/test_cache.cc" "tests/CMakeFiles/test_mem.dir/mem/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_cache.cc.o.d"
+  "/root/repo/tests/mem/test_dram.cc" "tests/CMakeFiles/test_mem.dir/mem/test_dram.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_dram.cc.o.d"
+  "/root/repo/tests/mem/test_icnt.cc" "tests/CMakeFiles/test_mem.dir/mem/test_icnt.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_icnt.cc.o.d"
+  "/root/repo/tests/mem/test_mem_system.cc" "tests/CMakeFiles/test_mem.dir/mem/test_mem_system.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_mem_system.cc.o.d"
+  "/root/repo/tests/mem/test_mrq.cc" "tests/CMakeFiles/test_mem.dir/mem/test_mrq.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_mrq.cc.o.d"
+  "/root/repo/tests/mem/test_mshr.cc" "tests/CMakeFiles/test_mem.dir/mem/test_mshr.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_mshr.cc.o.d"
+  "/root/repo/tests/mem/test_prefetch_cache.cc" "tests/CMakeFiles/test_mem.dir/mem/test_prefetch_cache.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_prefetch_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mtp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mtp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mtp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

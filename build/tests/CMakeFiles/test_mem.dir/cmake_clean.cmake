@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_cache.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_dram.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_dram.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_icnt.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_icnt.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_mem_system.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_mem_system.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_mrq.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_mrq.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_mshr.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_mshr.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_prefetch_cache.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_prefetch_cache.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

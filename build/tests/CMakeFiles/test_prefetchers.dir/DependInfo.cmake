@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_ghb.cc" "tests/CMakeFiles/test_prefetchers.dir/core/test_ghb.cc.o" "gcc" "tests/CMakeFiles/test_prefetchers.dir/core/test_ghb.cc.o.d"
+  "/root/repo/tests/core/test_lru_table.cc" "tests/CMakeFiles/test_prefetchers.dir/core/test_lru_table.cc.o" "gcc" "tests/CMakeFiles/test_prefetchers.dir/core/test_lru_table.cc.o.d"
+  "/root/repo/tests/core/test_mt_hwp.cc" "tests/CMakeFiles/test_prefetchers.dir/core/test_mt_hwp.cc.o" "gcc" "tests/CMakeFiles/test_prefetchers.dir/core/test_mt_hwp.cc.o.d"
+  "/root/repo/tests/core/test_mtaml.cc" "tests/CMakeFiles/test_prefetchers.dir/core/test_mtaml.cc.o" "gcc" "tests/CMakeFiles/test_prefetchers.dir/core/test_mtaml.cc.o.d"
+  "/root/repo/tests/core/test_stream.cc" "tests/CMakeFiles/test_prefetchers.dir/core/test_stream.cc.o" "gcc" "tests/CMakeFiles/test_prefetchers.dir/core/test_stream.cc.o.d"
+  "/root/repo/tests/core/test_stride_pc.cc" "tests/CMakeFiles/test_prefetchers.dir/core/test_stride_pc.cc.o" "gcc" "tests/CMakeFiles/test_prefetchers.dir/core/test_stride_pc.cc.o.d"
+  "/root/repo/tests/core/test_stride_rpt.cc" "tests/CMakeFiles/test_prefetchers.dir/core/test_stride_rpt.cc.o" "gcc" "tests/CMakeFiles/test_prefetchers.dir/core/test_stride_rpt.cc.o.d"
+  "/root/repo/tests/core/test_sw_prefetch.cc" "tests/CMakeFiles/test_prefetchers.dir/core/test_sw_prefetch.cc.o" "gcc" "tests/CMakeFiles/test_prefetchers.dir/core/test_sw_prefetch.cc.o.d"
+  "/root/repo/tests/core/test_throttle.cc" "tests/CMakeFiles/test_prefetchers.dir/core/test_throttle.cc.o" "gcc" "tests/CMakeFiles/test_prefetchers.dir/core/test_throttle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mtp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mtp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mtp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetchers.dir/core/test_ghb.cc.o"
+  "CMakeFiles/test_prefetchers.dir/core/test_ghb.cc.o.d"
+  "CMakeFiles/test_prefetchers.dir/core/test_lru_table.cc.o"
+  "CMakeFiles/test_prefetchers.dir/core/test_lru_table.cc.o.d"
+  "CMakeFiles/test_prefetchers.dir/core/test_mt_hwp.cc.o"
+  "CMakeFiles/test_prefetchers.dir/core/test_mt_hwp.cc.o.d"
+  "CMakeFiles/test_prefetchers.dir/core/test_mtaml.cc.o"
+  "CMakeFiles/test_prefetchers.dir/core/test_mtaml.cc.o.d"
+  "CMakeFiles/test_prefetchers.dir/core/test_stream.cc.o"
+  "CMakeFiles/test_prefetchers.dir/core/test_stream.cc.o.d"
+  "CMakeFiles/test_prefetchers.dir/core/test_stride_pc.cc.o"
+  "CMakeFiles/test_prefetchers.dir/core/test_stride_pc.cc.o.d"
+  "CMakeFiles/test_prefetchers.dir/core/test_stride_rpt.cc.o"
+  "CMakeFiles/test_prefetchers.dir/core/test_stride_rpt.cc.o.d"
+  "CMakeFiles/test_prefetchers.dir/core/test_sw_prefetch.cc.o"
+  "CMakeFiles/test_prefetchers.dir/core/test_sw_prefetch.cc.o.d"
+  "CMakeFiles/test_prefetchers.dir/core/test_throttle.cc.o"
+  "CMakeFiles/test_prefetchers.dir/core/test_throttle.cc.o.d"
+  "test_prefetchers"
+  "test_prefetchers.pdb"
+  "test_prefetchers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

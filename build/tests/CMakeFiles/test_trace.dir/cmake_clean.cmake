@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_address_pattern.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_address_pattern.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_coalescer.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_coalescer.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_kernel.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_kernel.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_kernel_io.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_kernel_io.cc.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

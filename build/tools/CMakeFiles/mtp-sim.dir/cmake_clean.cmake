@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp-sim.dir/mtp_sim.cc.o"
+  "CMakeFiles/mtp-sim.dir/mtp_sim.cc.o.d"
+  "mtp-sim"
+  "mtp-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
