@@ -24,6 +24,18 @@ main(int argc, char **argv)
         std::printf("   deg%u  early%u", d, d);
     std::printf("\n");
 
+    // Submit the whole degree sweep up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        runner.submitBaseline(w);
+        for (unsigned d : degrees) {
+            SimConfig cfg = bench::baseConfig(opts);
+            cfg.hwPref = HwPrefKind::MTHWP;
+            cfg.prefDegree = d;
+            runner.submit(cfg, w.kernel);
+        }
+    }
+
     std::vector<std::vector<double>> per_degree(4);
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);

@@ -31,6 +31,19 @@ main(int argc, char **argv)
 
     std::printf("\n%-9s | %10s %10s %10s\n", "bench", "contig",
                 "rr-blocks", "rr-warps");
+    // Submit the whole matrix up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        for (unsigned i = 0; i < 3; ++i) {
+            SimConfig base_cfg = bench::baseConfig(opts);
+            base_cfg.dispatchContiguous = i != 1;
+            base_cfg.schedGreedy = i != 2;
+            runner.submit(base_cfg, w.kernel);
+            SimConfig cfg = base_cfg;
+            cfg.hwPref = HwPrefKind::MTHWP;
+            runner.submit(cfg, w.kernel);
+        }
+    }
     std::vector<double> g[3];
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);

@@ -22,24 +22,34 @@ main(int argc, char **argv)
 
     std::printf("\n%-9s | %9s %9s %10s %10s\n", "bench", "no-throt",
                 "both", "earlyOnly", "mergeOnly");
+    auto configFor = [&](unsigned i) {
+        SimConfig cfg = bench::baseConfig(opts);
+        cfg.hwPref = HwPrefKind::MTHWP;
+        cfg.throttleEnable = i != 0;
+        if (i == 2) {
+            // Early-eviction rule only: merge always reads high.
+            cfg.mergeHigh = -1.0;
+        } else if (i == 3) {
+            // Merge rule only: early rate never trips its bands.
+            cfg.earlyEvictLow = 1e18;
+            cfg.earlyEvictHigh = 1e19;
+        }
+        return cfg;
+    };
+    // Submit the whole matrix up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        runner.submitBaseline(w);
+        for (unsigned i = 0; i < 4; ++i)
+            runner.submit(configFor(i), w.kernel);
+    }
     std::vector<double> g[4];
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);
         double spd[4];
         for (unsigned i = 0; i < 4; ++i) {
-            SimConfig cfg = bench::baseConfig(opts);
-            cfg.hwPref = HwPrefKind::MTHWP;
-            cfg.throttleEnable = i != 0;
-            if (i == 2) {
-                // Early-eviction rule only: merge always reads high.
-                cfg.mergeHigh = -1.0;
-            } else if (i == 3) {
-                // Merge rule only: early rate never trips its bands.
-                cfg.earlyEvictLow = 1e18;
-                cfg.earlyEvictHigh = 1e19;
-            }
-            const RunResult &r = runner.run(cfg, w.kernel);
+            const RunResult &r = runner.run(configFor(i), w.kernel);
             spd[i] = static_cast<double>(base.cycles) / r.cycles;
             g[i].push_back(spd[i]);
         }

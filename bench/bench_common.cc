@@ -26,9 +26,13 @@ parseArgs(int argc, char **argv)
             std::string name;
             while (std::getline(ss, name, ','))
                 opts.benchmarks.push_back(name);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opts.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+            if (opts.jobs == 0)
+                MTP_FATAL("--jobs must be >= 1");
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--scale N] [--bench a,b,...] "
-                        "[key=value ...]\n",
+                        "[--jobs N] [key=value ...]\n",
                         argv[0]);
             std::exit(0);
         } else if (arg.find('=') != std::string::npos) {
@@ -94,27 +98,6 @@ banner(const std::string &title, const std::string &reference,
                 "throttle period %llu cycles\n",
                 opts.scaleDiv,
                 static_cast<unsigned long long>(opts.throttlePeriod));
-}
-
-const RunResult &
-Runner::run(const SimConfig &cfg, const KernelDesc &kernel)
-{
-    std::ostringstream key;
-    cfg.dump(key);
-    key << '|' << kernel.name << '|' << kernel.numBlocks << '|'
-        << kernel.warpsPerBlock << '|' << kernel.warpInstsPerWarp();
-    for (auto &e : cache_) {
-        if (e.key == key.str())
-            return e.result;
-    }
-    cache_.push_back({key.str(), simulate(cfg, kernel)});
-    return cache_.back().result;
-}
-
-const RunResult &
-Runner::baseline(const Workload &w)
-{
-    return run(baseConfig(opts_), w.kernel);
 }
 
 } // namespace bench

@@ -14,7 +14,6 @@
 #define MTP_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -28,11 +27,13 @@ struct Options
 {
     unsigned scaleDiv = 8;      //!< grid divisor vs. the paper
     Cycle throttlePeriod = 5000; //!< scaled from the paper's 100K
+    unsigned jobs = 0;          //!< worker threads (0 = all cores)
     std::vector<std::string> overrides; //!< SimConfig key=value pairs
     std::vector<std::string> benchmarks; //!< subset filter (--bench a,b)
 };
 
-/** Parse argv; recognises --scale, --bench and key=value overrides. */
+/** Parse argv; recognises --scale, --bench, --jobs and key=value
+ *  overrides. */
 Options parseArgs(int argc, char **argv);
 
 /** Table II baseline with the scaled throttle period + overrides. */
@@ -53,31 +54,65 @@ void banner(const std::string &title, const std::string &reference,
             const Options &opts);
 
 /**
- * Simulation cache keyed by (config fingerprint, kernel name): within
- * one harness the same baseline run backs several columns.
+ * Memoized, parallel simulation front end of every harness.
+ *
+ * Backed by the driver's work-stealing executor and its thread-safe
+ * RunCache (keyed by the full config dump plus a content hash of the
+ * kernel's instruction stream — see src/driver/fingerprint.hh).
+ * Within one harness the same baseline run backs several columns, and
+ * duplicate submissions cost nothing.
+ *
+ * Harnesses submit their entire run matrix up front (submit() /
+ * submitBaseline()), then print in their natural order with run() /
+ * baseline(), which block per result. Printing happens on the main
+ * thread in submission order, so the output is deterministic and
+ * byte-identical for every --jobs value.
  */
 class Runner
 {
   public:
-    explicit Runner(const Options &opts) : opts_(opts) {}
+    explicit Runner(const Options &opts)
+        : opts_(opts), exec_(opts.jobs), cache_(exec_)
+    {
+    }
+
+    /** Schedule a simulation without waiting for it. */
+    void
+    submit(const SimConfig &cfg, const KernelDesc &kernel)
+    {
+        cache_.submit(cfg, kernel);
+    }
+
+    /** Schedule a workload's no-prefetching baseline run. */
+    void
+    submitBaseline(const Workload &w)
+    {
+        submit(baseConfig(opts_), w.kernel);
+    }
 
     /** Run (or reuse) a simulation of @p kernel under @p cfg. */
-    const RunResult &run(const SimConfig &cfg, const KernelDesc &kernel);
+    const RunResult &
+    run(const SimConfig &cfg, const KernelDesc &kernel)
+    {
+        return cache_.result(cfg, kernel);
+    }
 
     /** Baseline (no prefetching) run of a workload's kernel. */
-    const RunResult &baseline(const Workload &w);
+    const RunResult &
+    baseline(const Workload &w)
+    {
+        return run(baseConfig(opts_), w.kernel);
+    }
 
     const Options &options() const { return opts_; }
 
+    /** Worker threads actually in use. */
+    unsigned jobs() const { return exec_.threads(); }
+
   private:
     Options opts_;
-    struct Entry
-    {
-        std::string key;
-        RunResult result;
-    };
-    // deque: growth never invalidates the references handed out.
-    std::deque<Entry> cache_;
+    driver::ParallelExecutor exec_;
+    driver::RunCache cache_;
 };
 
 } // namespace bench

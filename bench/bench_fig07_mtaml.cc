@@ -24,6 +24,16 @@ main(int argc, char **argv)
     std::printf("\n%-6s %10s %12s %12s %14s %s\n", "warps", "MTAML",
                 "MTAML_pref", "avgLat", "avgLat(PREF)", "effect");
 
+    // Build and submit the whole warp sweep up front; the driver
+    // overlaps the runs while the loop below prints in order.
+    SimConfig cfg = bench::baseConfig(opts);
+    struct Point
+    {
+        unsigned warps;
+        KernelDesc base;
+        KernelDesc pref;
+    };
+    std::vector<Point> points;
     for (unsigned warps = 2; warps <= 16; warps += 2) {
         // One block of `warps` warps per core.
         Workload w = Suite::get("scalar", opts.scaleDiv);
@@ -33,23 +43,27 @@ main(int argc, char **argv)
             14, k.numBlocks * 8 / warps);
         k.maxBlocksPerCore = 1;
         k.finalize();
-
-        SimConfig cfg = bench::baseConfig(opts);
-        const RunResult &base = runner.run(cfg, k);
         KernelDesc pref_kernel =
             applySwPrefetch(k, SwPrefKind::Stride, w.info.swpOpts);
-        const RunResult &pref = runner.run(cfg, pref_kernel);
+        runner.submit(cfg, k);
+        runner.submit(cfg, pref_kernel);
+        points.push_back({warps, std::move(k), std::move(pref_kernel)});
+    }
+
+    for (const Point &p : points) {
+        const RunResult &base = runner.run(cfg, p.base);
+        const RunResult &pref = runner.run(cfg, p.pref);
 
         MtamlInputs in;
-        in.compInsts = static_cast<double>(k.warpInstsPerWarp() -
-                                           k.memInstsPerWarp());
-        in.memInsts = static_cast<double>(k.memInstsPerWarp());
-        in.activeWarps = warps;
+        in.compInsts = static_cast<double>(p.base.warpInstsPerWarp() -
+                                           p.base.memInstsPerWarp());
+        in.memInsts = static_cast<double>(p.base.memInstsPerWarp());
+        in.activeWarps = p.warps;
         in.prefHitProb = pref.prefCoverage();
 
         PrefEffect effect = classify(in, base.avgDemandLatency,
                                      pref.avgDemandLatency);
-        std::printf("%-6u %10.1f %12.1f %12.1f %14.1f %s\n", warps,
+        std::printf("%-6u %10.1f %12.1f %12.1f %14.1f %s\n", p.warps,
                     mtaml(in), mtamlPref(in), base.avgDemandLatency,
                     pref.avgDemandLatency,
                     toString(effect).c_str());

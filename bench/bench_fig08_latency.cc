@@ -22,6 +22,13 @@ main(int argc, char **argv)
                 "lat(base)", "lat(pref)", "normLat", "accuracy");
     auto names = bench::selectBenchmarks(
         opts, Suite::memoryIntensiveNames());
+    // Submit the whole matrix up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        runner.submitBaseline(w);
+        runner.submit(bench::baseConfig(opts),
+                      w.variant(SwPrefKind::StrideIP));
+    }
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);

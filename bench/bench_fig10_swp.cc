@@ -22,6 +22,16 @@ main(int argc, char **argv)
     std::vector<double> g_reg, g_str, g_ip, g_sip;
     auto names = bench::selectBenchmarks(
         opts, Suite::memoryIntensiveNames());
+    // Submit the whole matrix up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        runner.submitBaseline(w);
+        SimConfig cfg = bench::baseConfig(opts);
+        for (SwPrefKind kind :
+             {SwPrefKind::Register, SwPrefKind::Stride, SwPrefKind::IP,
+              SwPrefKind::StrideIP})
+            runner.submit(cfg, w.variant(kind));
+    }
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);

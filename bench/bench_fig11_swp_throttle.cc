@@ -22,6 +22,18 @@ main(int argc, char **argv)
     std::vector<double> g_reg, g_str, g_swp, g_thr;
     auto names = bench::selectBenchmarks(
         opts, Suite::memoryIntensiveNames());
+    // Submit the whole matrix up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        runner.submitBaseline(w);
+        SimConfig cfg = bench::baseConfig(opts);
+        SimConfig thr = cfg;
+        thr.throttleEnable = true;
+        runner.submit(cfg, w.variant(SwPrefKind::Register));
+        runner.submit(cfg, w.variant(SwPrefKind::Stride));
+        runner.submit(cfg, w.variant(SwPrefKind::StrideIP));
+        runner.submit(thr, w.variant(SwPrefKind::StrideIP));
+    }
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);

@@ -23,6 +23,16 @@ main(int argc, char **argv)
                 "early", "early+T", "bw", "bw+T");
     auto names = bench::selectBenchmarks(
         opts, Suite::memoryIntensiveNames());
+    // Submit the whole matrix up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        runner.submitBaseline(w);
+        SimConfig cfg = bench::baseConfig(opts);
+        SimConfig thr = cfg;
+        thr.throttleEnable = true;
+        runner.submit(cfg, w.variant(SwPrefKind::StrideIP));
+        runner.submit(thr, w.variant(SwPrefKind::StrideIP));
+    }
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);

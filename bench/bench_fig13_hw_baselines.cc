@@ -24,6 +24,22 @@ main(int argc, char **argv)
                                 HwPrefKind::StridePC, HwPrefKind::Stream,
                                 HwPrefKind::GHB};
 
+    // Submit the whole matrix up front so the runs overlap.
+    auto all_names = bench::selectBenchmarks(
+        opts, Suite::memoryIntensiveNames());
+    for (const auto &name : all_names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        runner.submitBaseline(w);
+        for (bool warp_training : {false, true}) {
+            for (HwPrefKind kind : kinds) {
+                SimConfig cfg = bench::baseConfig(opts);
+                cfg.hwPref = kind;
+                cfg.hwPrefWarpTraining = warp_training;
+                runner.submit(cfg, w.kernel);
+            }
+        }
+    }
+
     for (bool warp_training : {false, true}) {
         std::printf("\n-- %s --\n",
                     warp_training ? "Fig. 13b: warp-id indexing"

@@ -39,6 +39,23 @@ main(int argc, char **argv)
     double saved_sum = 0.0, probes_sum = 0.0;
     auto names = bench::selectBenchmarks(
         opts, Suite::memoryIntensiveNames());
+    // Submit the whole matrix up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        runner.submitBaseline(w);
+        for (const Column &col : cols) {
+            SimConfig cfg = bench::baseConfig(opts);
+            if (col.ghb) {
+                cfg.hwPref = HwPrefKind::GHB;
+            } else {
+                cfg.hwPref = HwPrefKind::MTHWP;
+                cfg.mthwpPws = col.pws;
+                cfg.mthwpGs = col.gs;
+                cfg.mthwpIp = col.ip;
+            }
+            runner.submit(cfg, w.kernel);
+        }
+    }
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);

@@ -22,36 +22,46 @@ main(int argc, char **argv)
     std::vector<double> g[6];
     auto names = bench::selectBenchmarks(
         opts, Suite::memoryIntensiveNames());
+    auto configFor = [&](unsigned i) {
+        SimConfig cfg = bench::baseConfig(opts);
+        switch (i) {
+          case 0:
+            cfg.hwPref = HwPrefKind::GHB;
+            break;
+          case 1:
+            cfg.hwPref = HwPrefKind::GHB;
+            cfg.ghbFeedback = true;
+            break;
+          case 2:
+            cfg.hwPref = HwPrefKind::StridePC;
+            break;
+          case 3:
+            cfg.hwPref = HwPrefKind::StridePC;
+            cfg.stridePcLateThrottle = true;
+            break;
+          case 4:
+            cfg.hwPref = HwPrefKind::MTHWP;
+            break;
+          default:
+            cfg.hwPref = HwPrefKind::MTHWP;
+            cfg.throttleEnable = true;
+            break;
+        }
+        return cfg;
+    };
+    // Submit the whole matrix up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        runner.submitBaseline(w);
+        for (unsigned i = 0; i < 6; ++i)
+            runner.submit(configFor(i), w.kernel);
+    }
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);
         double spd[6];
         for (unsigned i = 0; i < 6; ++i) {
-            SimConfig cfg = bench::baseConfig(opts);
-            switch (i) {
-              case 0:
-                cfg.hwPref = HwPrefKind::GHB;
-                break;
-              case 1:
-                cfg.hwPref = HwPrefKind::GHB;
-                cfg.ghbFeedback = true;
-                break;
-              case 2:
-                cfg.hwPref = HwPrefKind::StridePC;
-                break;
-              case 3:
-                cfg.hwPref = HwPrefKind::StridePC;
-                cfg.stridePcLateThrottle = true;
-                break;
-              case 4:
-                cfg.hwPref = HwPrefKind::MTHWP;
-                break;
-              default:
-                cfg.hwPref = HwPrefKind::MTHWP;
-                cfg.throttleEnable = true;
-                break;
-            }
-            const RunResult &r = runner.run(cfg, w.kernel);
+            const RunResult &r = runner.run(configFor(i), w.kernel);
             spd[i] = static_cast<double>(base.cycles) / r.cycles;
             g[i].push_back(spd[i]);
         }

@@ -23,22 +23,38 @@ main(int argc, char **argv)
     std::printf("\n\n%-8s | %8s %9s %8s %9s\n", "size", "mthwp",
                 "mthwp+T", "mtswp", "mtswp+T");
 
-    for (unsigned kb : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const unsigned sizesKb[] = {1, 2, 4, 8, 16, 32, 64, 128};
+    auto configFor = [&](unsigned kb, bool hw_pref, bool throttle) {
+        SimConfig cfg = bench::baseConfig(opts);
+        cfg.prefCacheBytes = kb * 1024;
+        cfg.throttleEnable = throttle;
+        if (hw_pref)
+            cfg.hwPref = HwPrefKind::MTHWP;
+        return cfg;
+    };
+    // Submit the whole size sweep up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        runner.submitBaseline(w);
+        for (unsigned kb : sizesKb) {
+            for (bool throttle : {false, true}) {
+                runner.submit(configFor(kb, true, throttle), w.kernel);
+                runner.submit(configFor(kb, false, throttle),
+                              w.variant(SwPrefKind::StrideIP));
+            }
+        }
+    }
+
+    for (unsigned kb : sizesKb) {
         std::vector<double> hw, hwt, sw, swt;
         for (const auto &name : names) {
             Workload w = Suite::get(name, opts.scaleDiv);
             const RunResult &base = runner.baseline(w);
             auto speedup = [&](bool hw_pref, bool throttle) {
-                SimConfig cfg = bench::baseConfig(opts);
-                cfg.prefCacheBytes = kb * 1024;
-                cfg.throttleEnable = throttle;
-                if (hw_pref) {
-                    cfg.hwPref = HwPrefKind::MTHWP;
-                    const RunResult &r = runner.run(cfg, w.kernel);
-                    return static_cast<double>(base.cycles) / r.cycles;
-                }
-                const RunResult &r =
-                    runner.run(cfg, w.variant(SwPrefKind::StrideIP));
+                SimConfig cfg = configFor(kb, hw_pref, throttle);
+                const RunResult &r = runner.run(
+                    cfg, hw_pref ? w.kernel
+                                 : w.variant(SwPrefKind::StrideIP));
                 return static_cast<double>(base.cycles) / r.cycles;
             };
             hw.push_back(speedup(true, false));

@@ -26,6 +26,18 @@ main(int argc, char **argv)
         std::printf(" %6u", d);
     std::printf("\n");
 
+    // Submit the whole distance sweep up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        runner.submitBaseline(w);
+        for (unsigned d : distances) {
+            SimConfig cfg = bench::baseConfig(opts);
+            cfg.hwPref = HwPrefKind::MTHWP;
+            cfg.prefDistance = d;
+            runner.submit(cfg, w.kernel);
+        }
+    }
+
     std::vector<std::vector<double>> per_distance(8);
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);

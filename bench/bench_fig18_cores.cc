@@ -23,6 +23,24 @@ main(int argc, char **argv)
     std::printf("\n\n%-6s | %8s %9s %8s %9s\n", "cores", "mthwp",
                 "mthwp+T", "mtswp", "mtswp+T");
 
+    // Submit the whole core-count sweep up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        KernelDesc swp = w.variant(SwPrefKind::StrideIP);
+        for (unsigned cores = 8; cores <= 20; cores += 2) {
+            SimConfig base_cfg = bench::baseConfig(opts);
+            base_cfg.numCores = cores;
+            runner.submit(base_cfg, w.kernel);
+            for (bool throttle : {false, true}) {
+                SimConfig cfg = base_cfg;
+                cfg.throttleEnable = throttle;
+                runner.submit(cfg, swp);
+                cfg.hwPref = HwPrefKind::MTHWP;
+                runner.submit(cfg, w.kernel);
+            }
+        }
+    }
+
     for (unsigned cores = 8; cores <= 20; cores += 2) {
         std::vector<double> hw, hwt, sw, swt;
         for (const auto &name : names) {

@@ -22,6 +22,14 @@ main(int argc, char **argv)
                 "baseCPI", "paper", "pmemCPI", "paper", "mem-int");
     auto names = bench::selectBenchmarks(
         opts, Suite::memoryIntensiveNames());
+    // Submit the whole matrix up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        runner.submitBaseline(w);
+        SimConfig pmem = bench::baseConfig(opts);
+        pmem.perfectMemory = true;
+        runner.submit(pmem, w.kernel);
+    }
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);

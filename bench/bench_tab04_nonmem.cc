@@ -20,6 +20,17 @@ main(int argc, char **argv)
                 "baseCPI", "paper", "pmemCPI", "paper", "hwpCPI",
                 "paper");
     auto names = bench::selectBenchmarks(opts, Suite::computeNames());
+    // Submit the whole matrix up front so the runs overlap.
+    for (const auto &name : names) {
+        Workload w = Suite::get(name, opts.scaleDiv);
+        runner.submitBaseline(w);
+        SimConfig pmem = bench::baseConfig(opts);
+        pmem.perfectMemory = true;
+        runner.submit(pmem, w.kernel);
+        SimConfig hwp = bench::baseConfig(opts);
+        hwp.hwPref = HwPrefKind::MTHWP;
+        runner.submit(hwp, w.kernel);
+    }
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);

@@ -4,16 +4,26 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <string>
 
 namespace mtp {
 
 namespace {
 
-/** Per-period stderr tracing, enabled with MTP_THROTTLE_TRACE=1. */
+/** Per-period stderr tracing, enabled with MTP_THROTTLE_TRACE=1
+ *  (unset, empty or "0" disables it, as documented). */
 bool
 traceEnabled()
 {
-    static const bool enabled = std::getenv("MTP_THROTTLE_TRACE");
+    // Magic-static initialization is thread-safe (C++11 [stmt.dcl]):
+    // the parallel driver runs ThrottleEngines on worker threads, and
+    // whichever thread gets here first parses the variable while the
+    // rest block on the guard.
+    static const bool enabled = [] {
+        const char *v = std::getenv("MTP_THROTTLE_TRACE");
+        return v != nullptr && v[0] != '\0' &&
+               std::string(v) != "0";
+    }();
     return enabled;
 }
 

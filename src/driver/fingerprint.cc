@@ -1,0 +1,97 @@
+#include "driver/fingerprint.hh"
+
+#include <sstream>
+
+namespace mtp {
+namespace driver {
+
+void
+Fnv1a::update(const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash_ ^= bytes[i];
+        hash_ *= prime;
+    }
+}
+
+void
+Fnv1a::add(const std::string &s)
+{
+    std::uint64_t len = s.size();
+    update(&len, sizeof(len));
+    update(s.data(), s.size());
+}
+
+namespace {
+
+void
+hashPattern(Fnv1a &h, const AddressPattern &p)
+{
+    h.add(p.base);
+    h.add(p.threadStride);
+    h.add(p.iterStride);
+    h.add(p.elemBytes);
+    h.add(p.scatterFrac);
+    h.add(p.scatterSpan);
+    h.add(p.scatterSalt);
+}
+
+void
+hashInst(Fnv1a &h, const StaticInst &inst)
+{
+    h.add(static_cast<std::uint8_t>(inst.op));
+    hashPattern(h, inst.pattern);
+    h.add(inst.destSlot);
+    h.add(inst.srcSlots[0]);
+    h.add(inst.srcSlots[1]);
+    h.add(inst.regPrefetch);
+    h.add(inst.repeat);
+    h.add(inst.swPrefetchable);
+    // inst.pc is derived by finalize(); deliberately excluded.
+}
+
+} // namespace
+
+std::uint64_t
+hashKernel(const KernelDesc &kernel)
+{
+    Fnv1a h;
+    h.add(kernel.name);
+    h.add(kernel.warpsPerBlock);
+    h.add(kernel.numBlocks);
+    h.add(kernel.maxBlocksPerCore);
+    h.add(static_cast<std::uint64_t>(kernel.segments.size()));
+    for (const auto &seg : kernel.segments) {
+        h.add(seg.trips);
+        h.add(static_cast<std::uint64_t>(seg.insts.size()));
+        for (const auto &inst : seg.insts)
+            hashInst(h, inst);
+    }
+    return h.value();
+}
+
+Fingerprint
+fingerprint(const SimConfig &cfg, const KernelDesc &kernel)
+{
+    Fingerprint fp;
+    std::ostringstream os;
+    cfg.dump(os);
+    fp.config = os.str();
+    fp.kernelName = kernel.name;
+    fp.kernelHash = hashKernel(kernel);
+    return fp;
+}
+
+std::size_t
+FingerprintHash::operator()(const Fingerprint &fp) const
+{
+    Fnv1a h;
+    h.add(fp.config);
+    h.add(fp.kernelName);
+    h.add(fp.kernelHash);
+    return static_cast<std::size_t>(h.value());
+}
+
+} // namespace driver
+} // namespace mtp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Run fingerprinting: the cache key a memoized simulation is filed
+ * under. A key must change whenever *anything* that can change the
+ * simulated outcome changes:
+ *
+ *   - every SimConfig field (taken from SimConfig::dump(), which
+ *     prints all of them), and
+ *   - the kernel's full content: name, launch geometry and the entire
+ *     static instruction stream, hashed with FNV-1a.
+ *
+ * The previous bench cache keyed on name + counts only, so two
+ * same-named kernel variants with equal instruction *counts* but
+ * different bodies (e.g. a Fig. 14 ablation toggling one table, or a
+ * software-prefetch variant changing only an address pattern) silently
+ * shared an entry and returned the wrong RunResult. Hashing the stream
+ * content closes that hole.
+ */
+
+#ifndef MTP_DRIVER_FINGERPRINT_HH
+#define MTP_DRIVER_FINGERPRINT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/config.hh"
+#include "trace/kernel.hh"
+
+namespace mtp {
+namespace driver {
+
+/** FNV-1a 64-bit streaming hasher. */
+class Fnv1a
+{
+  public:
+    /** Fold @p len raw bytes into the hash. */
+    void update(const void *data, std::size_t len);
+
+    /** Fold a trivially-copyable value's object representation. */
+    template <typename T>
+    void
+    add(const T &value)
+    {
+        update(&value, sizeof(value));
+    }
+
+    /** Fold a length-prefixed string (prefix avoids concat collisions). */
+    void add(const std::string &s);
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    static constexpr std::uint64_t offsetBasis = 0xcbf29ce484222325ULL;
+    static constexpr std::uint64_t prime = 0x100000001b3ULL;
+    std::uint64_t hash_ = offsetBasis;
+};
+
+/**
+ * FNV-1a hash of a kernel's complete content: name, geometry and every
+ * field of every static instruction (including address patterns).
+ * Finalization-derived PCs are excluded, so hashing before or after
+ * finalize() gives the same value.
+ */
+std::uint64_t hashKernel(const KernelDesc &kernel);
+
+/** Cache key: full config dump + kernel content hash. */
+struct Fingerprint
+{
+    std::string config;       //!< SimConfig::dump() text, all fields
+    std::string kernelName;   //!< kept readable for diagnostics
+    std::uint64_t kernelHash = 0; //!< hashKernel() of the full stream
+
+    bool operator==(const Fingerprint &other) const = default;
+};
+
+/** Build the fingerprint of one (config, kernel) run. */
+Fingerprint fingerprint(const SimConfig &cfg, const KernelDesc &kernel);
+
+/** Hash functor so Fingerprint can key an unordered_map. */
+struct FingerprintHash
+{
+    std::size_t operator()(const Fingerprint &fp) const;
+};
+
+} // namespace driver
+} // namespace mtp
+
+#endif // MTP_DRIVER_FINGERPRINT_HH

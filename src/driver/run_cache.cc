@@ -1,0 +1,48 @@
+#include "driver/run_cache.hh"
+
+namespace mtp {
+namespace driver {
+
+RunCache::Entry &
+RunCache::lookup(const SimConfig &cfg, const KernelDesc &kernel)
+{
+    Fingerprint fp = fingerprint(cfg, kernel);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(fp);
+    if (it != entries_.end()) {
+        hits_.fetch_add(1);
+        return *it->second;
+    }
+    misses_.fetch_add(1);
+    auto entry = std::make_unique<Entry>();
+    // The job owns copies: the caller's cfg/kernel may die before the
+    // worker runs.
+    entry->future = exec_.submit(
+        [cfg, kernel]() { return simulate(cfg, kernel); });
+    auto [pos, inserted] = entries_.emplace(std::move(fp),
+                                            std::move(entry));
+    (void)inserted;
+    return *pos->second;
+}
+
+void
+RunCache::submit(const SimConfig &cfg, const KernelDesc &kernel)
+{
+    lookup(cfg, kernel);
+}
+
+const RunResult &
+RunCache::result(const SimConfig &cfg, const KernelDesc &kernel)
+{
+    return lookup(cfg, kernel).future.get();
+}
+
+std::size_t
+RunCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace driver
+} // namespace mtp

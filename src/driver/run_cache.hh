@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Thread-safe memoizing cache of simulation runs on top of the
+ * ParallelExecutor.
+ *
+ * submit() files a (config, kernel) pair under its Fingerprint and, if
+ * the pair is new, enqueues the simulation on the executor; duplicate
+ * submissions — sequential or concurrent — attach to the existing
+ * entry and never run the simulator twice. result() blocks until the
+ * entry's run finishes and returns a reference that stays valid for
+ * the cache's lifetime.
+ *
+ * The intended shape is two-phase: a harness submits its entire run
+ * matrix up front (the executor's workers start chewing immediately),
+ * then walks the matrix again calling result() in print order. With a
+ * single worker that degenerates to exactly the old sequential
+ * behaviour; with N workers the wall clock approaches the critical
+ * path. Results are bit-identical either way because each run is
+ * single-threaded and deterministic.
+ *
+ * result() must not be called from executor worker threads (it blocks;
+ * see ParallelExecutor's header).
+ */
+
+#ifndef MTP_DRIVER_RUN_CACHE_HH
+#define MTP_DRIVER_RUN_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "driver/fingerprint.hh"
+#include "driver/parallel_executor.hh"
+#include "sim/gpu.hh"
+
+namespace mtp {
+namespace driver {
+
+class RunCache
+{
+  public:
+    /** @param exec executor the simulations are scheduled on (borrowed). */
+    explicit RunCache(ParallelExecutor &exec) : exec_(exec) {}
+
+    RunCache(const RunCache &) = delete;
+    RunCache &operator=(const RunCache &) = delete;
+
+    /**
+     * Ensure a run for (cfg, kernel) is scheduled (or already done).
+     * Returns immediately. Thread-safe.
+     */
+    void submit(const SimConfig &cfg, const KernelDesc &kernel);
+
+    /**
+     * Blocking lookup: submit if needed, wait for the run, return the
+     * cached result. The reference remains valid until destruction.
+     * Thread-safe; concurrent callers of the same key get the same
+     * object.
+     */
+    const RunResult &result(const SimConfig &cfg,
+                            const KernelDesc &kernel);
+
+    /** Distinct runs scheduled (cache misses). */
+    std::uint64_t misses() const { return misses_.load(); }
+
+    /** Submissions served from an existing entry. */
+    std::uint64_t hits() const { return hits_.load(); }
+
+    /** Number of distinct entries. */
+    std::size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_future<RunResult> future;
+    };
+
+    /** Find-or-create the entry, scheduling the run on a miss. */
+    Entry &lookup(const SimConfig &cfg, const KernelDesc &kernel);
+
+    ParallelExecutor &exec_;
+    mutable std::mutex mutex_;
+    // unique_ptr values: rehashing must not move Entry objects, the
+    // shared_futures handed out alias them.
+    std::unordered_map<Fingerprint, std::unique_ptr<Entry>,
+                       FingerprintHash>
+        entries_;
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> hits_{0};
+};
+
+} // namespace driver
+} // namespace mtp
+
+#endif // MTP_DRIVER_RUN_CACHE_HH

@@ -27,6 +27,9 @@
 #include "core/prefetcher.hh"
 #include "core/sw_prefetch.hh"
 #include "core/throttle.hh"
+#include "driver/fingerprint.hh"
+#include "driver/parallel_executor.hh"
+#include "driver/run_cache.hh"
 #include "sim/gpu.hh"
 #include "trace/kernel.hh"
 #include "workloads/workload.hh"

@@ -46,12 +46,17 @@ Gpu::dispatchBlocks()
 {
     if (!cfg_.dispatchContiguous) {
         // Round-robin ablation: hand the globally next block to each
-        // core with a free slot, in core order.
-        for (CoreId c = 0; c < cores_.size(); ++c) {
+        // core with a free slot. The scan origin rotates every cycle —
+        // a fixed origin would always favour core 0 when blocks are
+        // scarce, which is first-fit, not round-robin.
+        unsigned n = static_cast<unsigned>(cores_.size());
+        for (unsigned k = 0; k < n; ++k) {
+            CoreId c = (rrStartCore_ + k) % n;
             if (nextBlockOfCore_[0] < endBlockOfCore_[0] &&
                 cores_[c]->hasBlockCapacity())
                 cores_[c]->dispatchBlock(nextBlockOfCore_[0]++);
         }
+        rrStartCore_ = (rrStartCore_ + 1) % n;
         return;
     }
     // Each core pulls the next block of its contiguous range (one

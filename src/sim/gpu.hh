@@ -42,10 +42,11 @@ struct RunResult
     accuracy() const
     {
         return prefFills ? static_cast<double>(prefUseful) / prefFills
-                         : 0.0;
+                         : 1.0;
     }
 
-    /** Ratio of early prefetches: early evictions / fills. */
+    /** Ratio of early prefetches: early evictions / fills (0 when no
+     *  prefetching — a run without fills evicted nothing early). */
     double
     earlyRatio() const
     {
@@ -54,7 +55,8 @@ struct RunResult
                    : 0.0;
     }
 
-    /** Fraction of prefetches that were late: merged demand / fills. */
+    /** Fraction of prefetches that were late: merged demand / fills
+     *  (0 when no prefetching — nothing issued, nothing late). */
     double
     lateRatio() const
     {
@@ -111,6 +113,7 @@ class Gpu
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<BlockId> nextBlockOfCore_; //!< per-core block cursor
     std::vector<BlockId> endBlockOfCore_;  //!< per-core range end
+    unsigned rrStartCore_ = 0; //!< rotating scan origin (rr dispatch)
     Cycle now_ = 0;
     std::uint64_t activeWarpSamples_ = 0;
     std::uint64_t activeWarpSum_ = 0;

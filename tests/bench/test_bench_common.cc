@@ -16,10 +16,12 @@ TEST(BenchCommon, GeomeanBasics)
 
 TEST(BenchCommon, ParseArgs)
 {
-    const char *argv[] = {"prog", "--scale", "4", "--bench",
-                          "monte,stream", "numCores=10"};
-    Options opts = parseArgs(6, const_cast<char **>(argv));
+    const char *argv[] = {"prog",        "--scale",     "4",
+                          "--bench",     "monte,stream", "--jobs",
+                          "3",           "numCores=10"};
+    Options opts = parseArgs(8, const_cast<char **>(argv));
     EXPECT_EQ(opts.scaleDiv, 4u);
+    EXPECT_EQ(opts.jobs, 3u);
     ASSERT_EQ(opts.benchmarks.size(), 2u);
     EXPECT_EQ(opts.benchmarks[0], "monte");
     EXPECT_EQ(opts.benchmarks[1], "stream");
@@ -59,6 +61,7 @@ TEST(BenchCommon, RunnerCachesIdenticalRuns)
 {
     Options opts;
     opts.scaleDiv = 64;
+    opts.jobs = 2;
     Runner runner(opts);
     Workload w = Suite::get("cell", opts.scaleDiv);
     const RunResult &a = runner.baseline(w);

@@ -14,6 +14,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,7 +29,7 @@ usage(const char *argv0)
     std::printf(
         "usage: %s [options] [key=value ...]\n"
         "  --list                 list available benchmarks and exit\n"
-        "  --bench <name>         run a suite benchmark\n"
+        "  --bench <a,b,...>      run suite benchmarks (comma list)\n"
         "  --kernel <file>        run a kernel description file\n"
         "  --sw <kind>            software prefetch transform\n"
         "                         (none|register|stride|ip|stride_ip)\n"
@@ -37,6 +38,9 @@ usage(const char *argv0)
         "                          ghb|mthwp)\n"
         "  --throttle             enable the adaptive throttle engine\n"
         "  --scale <N>            grid divisor vs. the paper (default 8)\n"
+        "  --jobs <N>             parallel simulations (default: all\n"
+        "                         cores); results are identical for\n"
+        "                         every N\n"
         "  --stats <file>         dump full statistics to <file>\n"
         "  --csv                  CSV statistics instead of text\n"
         "  --dump-kernel <file>   write the (transformed) kernel and exit\n"
@@ -52,7 +56,7 @@ main(int argc, char **argv)
 {
     using namespace mtp;
 
-    std::string bench;
+    std::vector<std::string> benches;
     std::string kernel_file;
     std::string stats_file;
     std::string dump_kernel;
@@ -61,6 +65,7 @@ main(int argc, char **argv)
     bool csv = false;
     bool quiet = false;
     unsigned scale = 8;
+    unsigned jobs = 0; // 0 = all cores
     SimConfig cfg;
     cfg.throttlePeriod = 5000; // scaled default; overridable below
 
@@ -84,7 +89,10 @@ main(int argc, char **argv)
                 std::printf("  %-10s\n", n.c_str());
             return 0;
         } else if (arg == "--bench") {
-            bench = next("--bench");
+            std::stringstream ss(next("--bench"));
+            std::string name;
+            while (std::getline(ss, name, ','))
+                benches.push_back(name);
         } else if (arg == "--kernel") {
             kernel_file = next("--kernel");
         } else if (arg == "--sw") {
@@ -96,6 +104,10 @@ main(int argc, char **argv)
         } else if (arg == "--scale") {
             scale = static_cast<unsigned>(
                 std::stoul(next("--scale")));
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::stoul(next("--jobs")));
+            if (jobs == 0)
+                MTP_FATAL("--jobs must be >= 1");
         } else if (arg == "--stats") {
             stats_file = next("--stats");
         } else if (arg == "--csv") {
@@ -117,77 +129,101 @@ main(int argc, char **argv)
     }
     cfg.throttleEnable = throttle || cfg.throttleEnable;
 
-    if (bench.empty() == kernel_file.empty()) {
+    if (benches.empty() == kernel_file.empty()) {
         std::fprintf(stderr,
                      "exactly one of --bench or --kernel is required\n");
         usage(argv[0]);
         return 1;
     }
 
-    KernelDesc kernel;
-    SwPrefetchOptions swp_opts;
-    if (!bench.empty()) {
-        if (!Suite::has(bench)) {
-            std::fprintf(stderr, "unknown benchmark '%s'\n",
-                         bench.c_str());
-            return 1;
+    // Assemble the run matrix: every benchmark named by --bench (or
+    // the one --kernel file), each with the requested SW transform.
+    std::vector<KernelDesc> kernels;
+    if (!benches.empty()) {
+        for (const auto &bench : benches) {
+            if (!Suite::has(bench)) {
+                std::fprintf(stderr, "unknown benchmark '%s'\n",
+                             bench.c_str());
+                return 1;
+            }
+            Workload w = Suite::get(bench, scale);
+            KernelDesc kernel = w.kernel;
+            if (sw != SwPrefKind::None)
+                kernel = applySwPrefetch(kernel, sw, w.info.swpOpts);
+            kernels.push_back(std::move(kernel));
         }
-        Workload w = Suite::get(bench, scale);
-        swp_opts = w.info.swpOpts;
-        kernel = w.kernel;
     } else {
-        kernel = readKernelFile(kernel_file);
+        KernelDesc kernel = readKernelFile(kernel_file);
+        if (sw != SwPrefKind::None)
+            kernel = applySwPrefetch(kernel, sw, SwPrefetchOptions{});
+        kernels.push_back(std::move(kernel));
     }
-    if (sw != SwPrefKind::None)
-        kernel = applySwPrefetch(kernel, sw, swp_opts);
 
     if (!dump_kernel.empty()) {
+        if (kernels.size() != 1)
+            MTP_FATAL("--dump-kernel needs exactly one benchmark");
         std::ofstream out(dump_kernel);
         if (!out)
             MTP_FATAL("cannot write '", dump_kernel, "'");
-        writeKernel(out, kernel);
+        writeKernel(out, kernels.front());
         std::printf("wrote %s\n", dump_kernel.c_str());
         return 0;
     }
+    if (!stats_file.empty() && kernels.size() != 1)
+        MTP_FATAL("--stats needs exactly one benchmark");
 
-    RunResult r = simulate(cfg, kernel);
+    // Submit the whole matrix up front, then print in submission
+    // order; with any --jobs value the output is byte-identical.
+    driver::ParallelExecutor exec(jobs);
+    driver::RunCache cache(exec);
+    for (const KernelDesc &kernel : kernels)
+        cache.submit(cfg, kernel);
 
-    if (!quiet) {
-        std::printf("kernel      %s\n", kernel.name.c_str());
-        std::printf("machine     %u cores, hw=%s%s, sw=%s\n",
-                    cfg.numCores, toString(cfg.hwPref).c_str(),
-                    cfg.throttleEnable ? "+throttle" : "",
-                    toString(sw).c_str());
-        std::printf("cycles      %llu\n",
-                    static_cast<unsigned long long>(r.cycles));
-        std::printf("warp insts  %llu (CPI %.3f)\n",
-                    static_cast<unsigned long long>(r.warpInsts), r.cpi);
-        std::printf("mem latency %.1f cycles (prefetch %.1f)\n",
-                    r.avgDemandLatency, r.avgPrefetchLatency);
-        std::printf("dram bytes  %llu (%.2f B/cycle)\n",
-                    static_cast<unsigned long long>(r.dramBytes),
-                    static_cast<double>(r.dramBytes) / r.cycles);
-        if (r.prefFills > 0) {
-            std::printf("prefetching %llu fills, accuracy %.1f%%, "
-                        "coverage %.1f%%, late %.1f%%, early %.1f%%\n",
-                        static_cast<unsigned long long>(r.prefFills),
-                        100.0 * r.accuracy(),
-                        100.0 * r.prefCoverage(),
-                        100.0 * r.lateRatio(), 100.0 * r.earlyRatio());
+    bool first = true;
+    for (const KernelDesc &kernel : kernels) {
+        const RunResult &r = cache.result(cfg, kernel);
+
+        if (!quiet) {
+            if (!first)
+                std::printf("\n");
+            first = false;
+            std::printf("kernel      %s\n", kernel.name.c_str());
+            std::printf("machine     %u cores, hw=%s%s, sw=%s\n",
+                        cfg.numCores, toString(cfg.hwPref).c_str(),
+                        cfg.throttleEnable ? "+throttle" : "",
+                        toString(sw).c_str());
+            std::printf("cycles      %llu\n",
+                        static_cast<unsigned long long>(r.cycles));
+            std::printf("warp insts  %llu (CPI %.3f)\n",
+                        static_cast<unsigned long long>(r.warpInsts),
+                        r.cpi);
+            std::printf("mem latency %.1f cycles (prefetch %.1f)\n",
+                        r.avgDemandLatency, r.avgPrefetchLatency);
+            std::printf("dram bytes  %llu (%.2f B/cycle)\n",
+                        static_cast<unsigned long long>(r.dramBytes),
+                        static_cast<double>(r.dramBytes) / r.cycles);
+            if (r.prefFills > 0) {
+                std::printf(
+                    "prefetching %llu fills, accuracy %.1f%%, "
+                    "coverage %.1f%%, late %.1f%%, early %.1f%%\n",
+                    static_cast<unsigned long long>(r.prefFills),
+                    100.0 * r.accuracy(), 100.0 * r.prefCoverage(),
+                    100.0 * r.lateRatio(), 100.0 * r.earlyRatio());
+            }
         }
-    }
 
-    if (!stats_file.empty()) {
-        std::ofstream out(stats_file);
-        if (!out)
-            MTP_FATAL("cannot write '", stats_file, "'");
-        if (csv)
-            r.stats.dumpCsv(out);
-        else
-            r.stats.dumpText(out);
-        if (!quiet)
-            std::printf("stats       %s (%zu entries)\n",
-                        stats_file.c_str(), r.stats.size());
+        if (!stats_file.empty()) {
+            std::ofstream out(stats_file);
+            if (!out)
+                MTP_FATAL("cannot write '", stats_file, "'");
+            if (csv)
+                r.stats.dumpCsv(out);
+            else
+                r.stats.dumpText(out);
+            if (!quiet)
+                std::printf("stats       %s (%zu entries)\n",
+                            stats_file.c_str(), r.stats.size());
+        }
     }
     return 0;
 }
