@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Simulation-rate benchmark for the event-driven fast-forward loop.
+ *
+ * Runs each selected workload twice — with the naive cycle-by-cycle
+ * oracle loop (fastForward = false) and with event-driven cycle
+ * skipping (the default) — verifies the results are bit-identical
+ * (RunResult fields and the full statistics dump), and reports
+ * wall-clock time, simulated kilocycles per second and the speedup.
+ * Results go to stdout and to a JSON file (--out, default
+ * BENCH_simrate.json).
+ *
+ * The workload set is a latency-bound microkernel built to expose the
+ * best case (two dependent-load warps per core, so the machine idles
+ * for most of every memory round trip) plus one benchmark from each
+ * workload class. Exits nonzero on any fast/naive mismatch.
+ *
+ * Usage: bench_simrate [--scale N] [--bench a,b] [--out FILE] [--smoke]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+namespace {
+
+using namespace mtp;
+
+/**
+ * A memory-latency-bound microkernel: one resident block of two warps
+ * per core, each iterating a dependent load -> use -> branch chain
+ * with a row-crossing stride. Almost every cycle of the naive loop is
+ * spent waiting on DRAM round trips.
+ */
+KernelDesc
+latencyMicroKernel(unsigned numCores, unsigned trips)
+{
+    KernelDesc k;
+    k.name = "latency_micro";
+    k.warpsPerBlock = 2;
+    k.numBlocks = 2ULL * numCores;
+    k.maxBlocksPerCore = 1;
+
+    Segment loop;
+    loop.trips = trips;
+    AddressPattern p;
+    p.base = 0x1000'0000ULL;
+    p.threadStride = 4;
+    p.iterStride = 1 << 20; // a fresh row every trip: no locality
+    loop.insts.push_back(StaticInst::load(p, 0));
+    loop.insts.push_back(StaticInst::compUse(0, -1, 2));
+    loop.insts.push_back(StaticInst::branch());
+    k.segments.push_back(loop);
+    k.finalize();
+    return k;
+}
+
+struct Measurement
+{
+    std::string name;
+    Cycle cycles = 0;
+    std::uint64_t warpInsts = 0;
+    double naiveSeconds = 0.0;
+    double fastSeconds = 0.0;
+    double speedup = 0.0;
+    bool identical = false;
+};
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+std::string
+statDump(const RunResult &r)
+{
+    std::ostringstream os;
+    r.stats.dumpText(os);
+    return os.str();
+}
+
+bool
+identicalResults(const RunResult &fast, const RunResult &naive)
+{
+    return fast.cycles == naive.cycles &&
+           fast.warpInsts == naive.warpInsts &&
+           fast.dramBytes == naive.dramBytes &&
+           fast.demandTxns == naive.demandTxns &&
+           fast.prefFills == naive.prefFills &&
+           statDump(fast) == statDump(naive);
+}
+
+Measurement
+measure(const std::string &name, const SimConfig &base,
+        const KernelDesc &kernel)
+{
+    SimConfig naiveCfg = base;
+    naiveCfg.fastForward = false;
+    SimConfig fastCfg = base;
+    fastCfg.fastForward = true;
+
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult naive = simulate(naiveCfg, kernel);
+    auto t1 = std::chrono::steady_clock::now();
+    RunResult fast = simulate(fastCfg, kernel);
+    auto t2 = std::chrono::steady_clock::now();
+
+    Measurement m;
+    m.name = name;
+    m.cycles = naive.cycles;
+    m.warpInsts = naive.warpInsts;
+    m.naiveSeconds = seconds(t0, t1);
+    m.fastSeconds = seconds(t1, t2);
+    m.speedup = m.fastSeconds > 0.0 ? m.naiveSeconds / m.fastSeconds : 0.0;
+    m.identical = identicalResults(fast, naive);
+    return m;
+}
+
+double
+kcyclesPerSec(Cycle cycles, double secs)
+{
+    return secs > 0.0 ? static_cast<double>(cycles) / secs / 1000.0 : 0.0;
+}
+
+void
+writeJson(const std::string &path, unsigned scaleDiv,
+          const std::vector<Measurement> &rows, double geomeanSpeedup)
+{
+    std::ofstream os(path);
+    os << "{\n  \"bench\": \"simrate\",\n  \"scaleDiv\": " << scaleDiv
+       << ",\n  \"workloads\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Measurement &m = rows[i];
+        os << "    {\"name\": \"" << m.name << "\", \"cycles\": "
+           << m.cycles << ", \"warpInsts\": " << m.warpInsts
+           << ", \"naiveSeconds\": " << m.naiveSeconds
+           << ", \"fastSeconds\": " << m.fastSeconds
+           << ", \"naiveKcyclesPerSec\": "
+           << kcyclesPerSec(m.cycles, m.naiveSeconds)
+           << ", \"fastKcyclesPerSec\": "
+           << kcyclesPerSec(m.cycles, m.fastSeconds)
+           << ", \"speedup\": " << m.speedup << ", \"identical\": "
+           << (m.identical ? "true" : "false") << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"geomeanSpeedup\": " << geomeanSpeedup << "\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned scaleDiv = 8;
+    bool smoke = false;
+    std::string out = "BENCH_simrate.json";
+    std::vector<std::string> filter;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--scale" && i + 1 < argc) {
+            scaleDiv = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--bench" && i + 1 < argc) {
+            std::stringstream ss(argv[++i]);
+            std::string name;
+            while (std::getline(ss, name, ','))
+                filter.push_back(name);
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--scale N] [--bench a,b] "
+                         "[--out FILE] [--smoke]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (smoke)
+        scaleDiv = 64;
+
+    SimConfig cfg; // Table II baseline, no prefetching
+    cfg.throttlePeriod = 100000 / scaleDiv;
+
+    // The microkernel runs on a two-core machine: severe latency-bound
+    // low occupancy, the regime event-driven skipping targets. The
+    // suite benchmarks keep the Table II machine.
+    SimConfig microCfg = cfg;
+    microCfg.numCores = 2;
+
+    // The microkernel plus one benchmark per workload class.
+    std::vector<std::pair<std::string, KernelDesc>> workloads;
+    workloads.emplace_back(
+        "latency_micro",
+        latencyMicroKernel(microCfg.numCores, smoke ? 256 : 4096));
+    if (!smoke) {
+        for (WorkloadType type :
+             {WorkloadType::Stride, WorkloadType::Mp, WorkloadType::Uncoal,
+              WorkloadType::Compute}) {
+            std::string name = Suite::namesOfType(type).front();
+            workloads.emplace_back(name,
+                                   Suite::get(name, scaleDiv).kernel);
+        }
+    }
+    if (!filter.empty()) {
+        std::vector<std::pair<std::string, KernelDesc>> kept;
+        for (auto &w : workloads)
+            for (const auto &name : filter)
+                if (w.first == name)
+                    kept.push_back(std::move(w));
+        workloads = std::move(kept);
+    }
+
+    std::printf("bench_simrate: naive cycle loop vs event-driven "
+                "fast-forward (scale 1/%u)\n\n",
+                scaleDiv);
+    std::printf("%-16s %12s %10s %10s %12s %12s %8s %6s\n", "workload",
+                "cycles", "naive_s", "fast_s", "naive_kc/s", "fast_kc/s",
+                "speedup", "equal");
+
+    std::vector<Measurement> rows;
+    std::vector<double> speedups;
+    bool allIdentical = true;
+    for (const auto &[name, kernel] : workloads) {
+        Measurement m =
+            measure(name, name == "latency_micro" ? microCfg : cfg,
+                    kernel);
+        std::printf("%-16s %12llu %10.3f %10.3f %12.1f %12.1f %7.2fx %6s\n",
+                    m.name.c_str(),
+                    static_cast<unsigned long long>(m.cycles),
+                    m.naiveSeconds, m.fastSeconds,
+                    kcyclesPerSec(m.cycles, m.naiveSeconds),
+                    kcyclesPerSec(m.cycles, m.fastSeconds), m.speedup,
+                    m.identical ? "yes" : "NO");
+        allIdentical = allIdentical && m.identical;
+        speedups.push_back(m.speedup);
+        rows.push_back(std::move(m));
+    }
+
+    double gm = bench::geomean(speedups);
+    std::printf("\ngeomean speedup: %.2fx\n", gm);
+    writeJson(out, scaleDiv, rows, gm);
+    std::printf("wrote %s\n", out.c_str());
+
+    if (!allIdentical) {
+        std::fprintf(stderr,
+                     "FAIL: fast-forward results diverge from the naive "
+                     "oracle loop\n");
+        return 1;
+    }
+    return 0;
+}

@@ -6,7 +6,10 @@
 #ifndef MTP_COMMON_BITUTILS_HH
 #define MTP_COMMON_BITUTILS_HH
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace mtp {
 
@@ -67,6 +70,95 @@ mix64(std::uint64_t x)
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
     return x ^ (x >> 31);
 }
+
+/**
+ * A fixed-size dynamic bitset tuned for the simulator's incremental
+ * scheduling state: membership sets over warp or block-slot indices
+ * where the common operations are single-bit updates and "first set
+ * bit at or after i" scans (used for index-ordered iteration, which
+ * must match a naive ascending loop bit for bit).
+ */
+class DynBitset
+{
+  public:
+    static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
+
+    DynBitset() = default;
+
+    /** Size to @p bits entries, all cleared. */
+    explicit DynBitset(std::size_t bits) { resize(bits); }
+
+    /** Resize to @p bits entries, clearing every bit. */
+    void
+    resize(std::size_t bits)
+    {
+        bits_ = bits;
+        words_.assign((bits + 63) / 64, 0);
+    }
+
+    std::size_t size() const { return bits_; }
+
+    bool
+    test(std::size_t i) const
+    {
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void set(std::size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+    void clear(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+    void
+    assign(std::size_t i, bool v)
+    {
+        if (v)
+            set(i);
+        else
+            clear(i);
+    }
+
+    /** @return true iff any bit is set. */
+    bool
+    any() const
+    {
+        for (auto w : words_) {
+            if (w)
+                return true;
+        }
+        return false;
+    }
+
+    /** Number of set bits. */
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (auto w : words_)
+            n += static_cast<std::size_t>(std::popcount(w));
+        return n;
+    }
+
+    /** Index of the first set bit >= @p from, or npos. */
+    std::size_t
+    findFrom(std::size_t from) const
+    {
+        if (from >= bits_)
+            return npos;
+        std::size_t w = from >> 6;
+        std::uint64_t word = words_[w] & (~0ULL << (from & 63));
+        while (true) {
+            if (word)
+                return (w << 6) +
+                       static_cast<std::size_t>(std::countr_zero(word));
+            if (++w >= words_.size())
+                return npos;
+            word = words_[w];
+        }
+    }
+
+  private:
+    std::size_t bits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
 
 } // namespace mtp
 

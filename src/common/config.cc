@@ -205,6 +205,7 @@ setters()
         BOOL_FIELD(perfectMemory),
         U64_FIELD(maxCycles),
         U64_FIELD(seed),
+        BOOL_FIELD(fastForward),
     };
     return table;
 }
@@ -329,7 +330,8 @@ SimConfig::dump(std::ostream &os) const
        << "dispatchContiguous = " << dispatchContiguous << '\n'
        << "perfectMemory = " << perfectMemory << '\n'
        << "maxCycles = " << maxCycles << '\n'
-       << "seed = " << seed << '\n';
+       << "seed = " << seed << '\n'
+       << "fastForward = " << fastForward << '\n';
 }
 
 } // namespace mtp

@@ -194,6 +194,15 @@ struct SimConfig
     bool perfectMemory = false;   //!< all memory requests take 1 cycle
     Cycle maxCycles = 400'000'000; //!< safety cap; runs must finish first
     std::uint64_t seed = 1;       //!< deterministic RNG seed
+    /**
+     * Event-driven cycle skipping: when no core, queue or DRAM bank can
+     * make progress this cycle, Gpu::run() fast-forwards to the next
+     * upcoming event instead of ticking dead cycles one by one. Results
+     * and statistics are bit-identical either way (the naive loop is
+     * kept as the oracle; see DESIGN.md on the event-horizon contract);
+     * turning this off only makes runs slower.
+     */
+    bool fastForward = true;
 
     /**
      * Apply a textual "key=value" override (used by bench/example CLIs).

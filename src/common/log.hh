@@ -79,6 +79,18 @@ concat(Args &&...args)
                       ::mtp::detail::concat(__VA_ARGS__)); \
     } while (0)
 
+/**
+ * MTP_SLOW_CHECKS gates O(N) consistency re-scans that cross-check the
+ * simulator's incrementally-maintained counters (active-warp counts,
+ * scheduler ready sets, drained()-style in-flight totals) against an
+ * exhaustive walk of the underlying state. They run every cycle, so
+ * they are enabled only in Debug builds (or with -DMTP_SLOW_CHECKS=1)
+ * and compiled out of the default RelWithDebInfo build.
+ */
+#if !defined(MTP_SLOW_CHECKS) && !defined(NDEBUG)
+#define MTP_SLOW_CHECKS 1
+#endif
+
 } // namespace mtp
 
 #endif // MTP_COMMON_LOG_HH

@@ -1,5 +1,7 @@
 #include "mem/dram.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace mtp {
@@ -27,7 +29,8 @@ DramChannel::DramChannel(const SimConfig &cfg, unsigned channelId)
       tRp_(toCoreCycles(cfg.dramTRP, cfg.memClockNum, cfg.memClockDen)),
       burst_(blockBytes / cfg.dramBusBytesPerCycle),
       extraLatency_(cfg.memLatencyExtra),
-      banks_(cfg.dramBanks)
+      banks_(cfg.dramBanks),
+      bankPending_(cfg.dramBanks, 0)
 {
     (void)channelId;
     MTP_ASSERT(blocksPerRow_ > 0, "row smaller than a block");
@@ -49,15 +52,19 @@ DramChannel::mapAddr(Addr addr) const
 bool
 DramChannel::insert(MemRequest &&req)
 {
-    for (auto &queued : buffer_) {
-        if (queued.addr == req.addr &&
-            MemRequest::mergeable(queued.type, req.type)) {
-            queued.mergeFrom(std::move(req));
-            ++counters_.interCoreMerges;
-            return true;
+    if (bufferedByAddr_.count(req.addr)) {
+        for (auto &queued : buffer_) {
+            if (queued.addr == req.addr &&
+                MemRequest::mergeable(queued.type, req.type)) {
+                queued.mergeFrom(std::move(req));
+                ++counters_.interCoreMerges;
+                return true;
+            }
         }
     }
     MTP_ASSERT(!bufferFull(), "insert() into a full DRAM request buffer");
+    ++bufferedByAddr_[req.addr];
+    ++bankPending_[mapAddr(req.addr).bank];
     buffer_.push_back(std::move(req));
     return false;
 }
@@ -65,6 +72,8 @@ DramChannel::insert(MemRequest &&req)
 bool
 DramChannel::upgradeToDemand(Addr addr)
 {
+    if (!bufferedByAddr_.count(addr))
+        return false;
     for (auto &req : buffer_) {
         if (req.addr == addr && isPrefetch(req.type)) {
             req.type = ReqType::DemandLoad;
@@ -72,6 +81,35 @@ DramChannel::upgradeToDemand(Addr addr)
         }
     }
     return false;
+}
+
+Cycle
+DramChannel::nextEventAt(Cycle now) const
+{
+    Cycle e = invalidCycle;
+    if (!serviceDoneAts_.empty())
+        e = serviceDoneAts_.front();
+    for (unsigned b = 0; b < banks_.size(); ++b) {
+        if (bankPending_[b] == 0)
+            continue;
+        Cycle ready = banks_[b].busyUntil;
+        if (ready <= now)
+            return now;
+        if (ready < e)
+            e = ready;
+    }
+#if MTP_SLOW_CHECKS
+    Cycle scan = invalidCycle;
+    for (const auto &svc : inService_)
+        scan = std::min(scan, svc.doneAt);
+    for (const auto &req : buffer_)
+        scan = std::min(scan,
+                        std::max(now,
+                                 banks_[mapAddr(req.addr).bank].busyUntil));
+    MTP_ASSERT(std::max(e, now) == std::max(scan, now),
+               "per-bank event bound disagrees with exhaustive scan");
+#endif
+    return e;
 }
 
 int
@@ -117,6 +155,8 @@ DramChannel::tick(Cycle now, std::vector<MemRequest> &completed)
             ++i;
         }
     }
+    while (!serviceDoneAts_.empty() && serviceDoneAts_.front() <= now)
+        serviceDoneAts_.pop_front();
 
     // Schedule at most one request per cycle (command-bus limit).
     int pick = pickRequest(now);
@@ -125,8 +165,15 @@ DramChannel::tick(Cycle now, std::vector<MemRequest> &completed)
 
     MemRequest req = std::move(buffer_[pick]);
     buffer_.erase(buffer_.begin() + pick);
+    auto by_addr = bufferedByAddr_.find(req.addr);
+    MTP_ASSERT(by_addr != bufferedByAddr_.end(),
+               "scheduled request missing from the address index");
+    if (--by_addr->second == 0)
+        bufferedByAddr_.erase(by_addr);
 
     DramCoord c = mapAddr(req.addr);
+    MTP_ASSERT(bankPending_[c.bank] > 0, "bank pending-count underflow");
+    --bankPending_[c.bank];
     Bank &bank = banks_[c.bank];
 
     Cycle act_cost;
@@ -163,6 +210,10 @@ DramChannel::tick(Cycle now, std::vector<MemRequest> &completed)
 
     // The response leaves the controller after the fixed pipeline
     // latency; the bank and bus are free at `done`.
+    MTP_ASSERT(serviceDoneAts_.empty() ||
+                   serviceDoneAts_.back() < done + extraLatency_,
+               "service completion times not monotonic");
+    serviceDoneAts_.push_back(done + extraLatency_);
     inService_.push_back({std::move(req), done + extraLatency_});
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.hh"
@@ -85,6 +86,14 @@ class DramChannel
     /** Map a block address to its bank and row within this channel. */
     DramCoord mapAddr(Addr addr) const;
 
+    /**
+     * Earliest cycle >= @p now at which this channel could act: retire
+     * an in-service transfer (its doneAt) or schedule a buffered
+     * request (its bank's busyUntil). A lower bound on the true next
+     * state change — never later (the event-horizon contract).
+     */
+    Cycle nextEventAt(Cycle now) const;
+
     const Counters &counters() const { return counters_; }
 
     /** Export counters under "<prefix>." into @p set. */
@@ -128,8 +137,24 @@ class DramChannel
     Cycle extraLatency_;
 
     std::deque<MemRequest> buffer_;
+    /**
+     * Buffered requests per block address. Lets insert() and
+     * upgradeToDemand() skip the O(buffer) walk in the common case of
+     * no same-block entry; the walk still resolves merge eligibility
+     * and ordering when the address is present.
+     */
+    std::unordered_map<Addr, unsigned> bufferedByAddr_;
     std::vector<Bank> banks_;
+    /** Buffered requests per bank, for the O(banks) event bound. */
+    std::vector<unsigned> bankPending_;
     std::vector<InService> inService_;
+    /**
+     * doneAt of every in-service request, oldest first. The shared
+     * data bus serializes transfers, so completion times are strictly
+     * increasing in schedule order and the front is the minimum;
+     * retirement pops the same prefix tick() removes from inService_.
+     */
+    std::deque<Cycle> serviceDoneAts_;
     Cycle busFreeAt_ = 0;
     Counters counters_;
 };

@@ -68,6 +68,17 @@ Icnt::totalInFlight() const
     return n;
 }
 
+Cycle
+Icnt::nextArrivalAt() const
+{
+    Cycle e = invalidCycle;
+    for (const auto &p : pipes_) {
+        if (!p.empty() && p.front().readyAt < e)
+            e = p.front().readyAt;
+    }
+    return e;
+}
+
 void
 Icnt::exportStats(StatSet &set, const std::string &prefix) const
 {

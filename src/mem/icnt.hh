@@ -55,6 +55,14 @@ class Icnt
     /** Total packets in flight across all destinations. */
     std::size_t totalInFlight() const;
 
+    /**
+     * Earliest arrival time of any in-flight packet, or invalidCycle
+     * when the network is empty. Pipes are FIFO with a fixed latency,
+     * so each pipe's front packet is its earliest; this is the
+     * network's contribution to the simulation's next-event bound.
+     */
+    Cycle nextArrivalAt() const;
+
     /** @return true iff nothing is in flight. */
     bool drained() const { return totalInFlight() == 0; }
 

@@ -1,5 +1,7 @@
 #include "mem/mem_system.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace mtp {
@@ -36,8 +38,13 @@ MemSystem::issue(CoreId core, Addr blockAddr, ReqType type, Cycle now,
     MTP_ASSERT(core < numCores_, "issue() from unknown core ", core);
     MTP_ASSERT(blockAlign(blockAddr) == blockAddr,
                "issue() address not block aligned");
-    return mrqs_[core]->push(
+    bool pushed = mrqs_[core]->push(
         MemRequest::make(blockAddr, type, core, now, bytes));
+    if (pushed) {
+        ++inTransit_;
+        ++mrqOccupancy_;
+    }
+    return pushed;
 }
 
 void
@@ -70,6 +77,8 @@ MemSystem::injectFromPort(unsigned port, Cycle now)
             cfg_.memBufEntries)
             continue;
         reqNet_.send(ch, mrq.pop(), now);
+        MTP_ASSERT(mrqOccupancy_ > 0, "MRQ occupancy underflow");
+        --mrqOccupancy_;
         ++inFlightToChannel_[ch];
         portRR_[port] = (idx + 1) % members;
         return;
@@ -82,7 +91,11 @@ MemSystem::tick(Cycle now)
     // 1. Deliver request packets into controller buffers.
     for (unsigned ch = 0; ch < channels_.size(); ++ch) {
         while (reqNet_.frontReady(ch, now) && !channels_[ch]->bufferFull()) {
-            channels_[ch]->insert(reqNet_.pop(ch));
+            if (channels_[ch]->insert(reqNet_.pop(ch))) {
+                // Inter-core merge: two in-transit requests became one.
+                MTP_ASSERT(inTransit_ > 0, "in-transit underflow on merge");
+                --inTransit_;
+            }
             MTP_ASSERT(inFlightToChannel_[ch] > 0, "in-flight underflow");
             --inFlightToChannel_[ch];
         }
@@ -93,8 +106,14 @@ MemSystem::tick(Cycle now)
         completedScratch_.clear();
         channel->tick(now, completedScratch_);
         for (auto &req : completedScratch_) {
-            if (req.type == ReqType::DemandStore)
-                continue; // stores need no response
+            if (req.type == ReqType::DemandStore) {
+                // Stores complete without a response.
+                MTP_ASSERT(inTransit_ > 0, "in-transit underflow on store");
+                --inTransit_;
+                continue;
+            }
+            // One response packet per sharer core.
+            inTransit_ += req.sharers.size() - 1;
             for (std::size_t i = 1; i < req.sharers.size(); ++i) {
                 MemRequest copy = req;
                 respNet_.send(req.sharers[i], std::move(copy), now);
@@ -110,20 +129,66 @@ MemSystem::tick(Cycle now)
 
     // 4. Deliver responses to cores (MSHR retirement happens there).
     for (CoreId core = 0; core < numCores_; ++core) {
-        while (respNet_.frontReady(core, now))
+        while (respNet_.frontReady(core, now)) {
             completions_[core].push_back(respNet_.pop(core));
+            MTP_ASSERT(inTransit_ > 0, "in-transit underflow on response");
+            --inTransit_;
+            ++completionsPending_;
+        }
     }
 }
 
-std::vector<MemRequest> &
-MemSystem::completions(CoreId core)
+const std::vector<MemRequest> &
+MemSystem::completions(CoreId core) const
 {
     MTP_ASSERT(core < numCores_, "completions() for unknown core ", core);
     return completions_[core];
 }
 
+void
+MemSystem::clearCompletions(CoreId core)
+{
+    MTP_ASSERT(core < numCores_, "clearCompletions() for unknown core ",
+               core);
+    MTP_ASSERT(completionsPending_ >= completions_[core].size(),
+               "pending-completion counter underflow");
+    completionsPending_ -= completions_[core].size();
+    completions_[core].clear();
+}
+
 bool
 MemSystem::drained() const
+{
+    bool fast = inTransit_ == 0 && completionsPending_ == 0;
+#if MTP_SLOW_CHECKS
+    MTP_ASSERT(fast == drainedScan(),
+               "in-transit counters disagree with exhaustive scan");
+#endif
+    return fast;
+}
+
+Cycle
+MemSystem::nextEventAt(Cycle now) const
+{
+    // Occupied MRQs arbitrate for injection every cycle, and delivered
+    // completions are drained by their core next cycle: no skipping.
+    if (completionsPending_ > 0 || mrqOccupancy_ > 0)
+        return now;
+    Cycle e = std::min(reqNet_.nextArrivalAt(), respNet_.nextArrivalAt());
+    if (e <= now)
+        return now;
+    for (const auto &channel : channels_) {
+        Cycle c = channel->nextEventAt(now);
+        if (c <= now)
+            return now;
+        if (c < e)
+            e = c;
+    }
+    return e;
+}
+
+bool
+MemSystem::drainedScan() const
 {
     for (const auto &mrq : mrqs_) {
         if (!mrq->empty())

@@ -48,9 +48,14 @@ class MemSystem
 
     /**
      * Responses delivered to @p core and not yet consumed. The core
-     * drains this list every cycle and must clear() it.
+     * drains this list every cycle and then calls clearCompletions();
+     * routing consumption through that call keeps the pending-response
+     * counter behind drained() in sync.
      */
-    std::vector<MemRequest> &completions(CoreId core);
+    const std::vector<MemRequest> &completions(CoreId core) const;
+
+    /** Discard @p core's (fully drained) completion list. */
+    void clearCompletions(CoreId core);
 
     Mrq &mrq(CoreId core) { return *mrqs_[core]; }
     const Mrq &mrq(CoreId core) const { return *mrqs_[core]; }
@@ -64,8 +69,24 @@ class MemSystem
     /** Which channel services @p addr (block interleaving). */
     unsigned channelOf(Addr addr) const;
 
-    /** @return true iff no request is anywhere in the memory system. */
+    /**
+     * @return true iff no request is anywhere in the memory system.
+     * O(1): maintained counters; cross-checked against drainedScan()
+     * in slow-check builds.
+     */
     bool drained() const;
+
+    /** Exhaustive recomputation of drained() (oracle for the counters). */
+    bool drainedScan() const;
+
+    /**
+     * Earliest cycle >= @p now at which the memory system might act:
+     * deliver a network packet, schedule or retire a DRAM request, or
+     * hand a completion to a core. Never later than the true next state
+     * change (the event-horizon contract); returns invalidCycle when
+     * fully drained.
+     */
+    Cycle nextEventAt(Cycle now) const;
 
     /** Total bytes moved over all DRAM data buses. */
     std::uint64_t dramBytes() const;
@@ -87,6 +108,16 @@ class MemSystem
     std::vector<unsigned> portRR_; //!< per-port round-robin pointer
     std::vector<std::vector<MemRequest>> completions_;
     std::vector<MemRequest> completedScratch_;
+
+    /**
+     * Requests currently in an MRQ, a network, or a channel (buffered,
+     * in service, or as undelivered responses). Inter-core merges and
+     * per-sharer response fan-out adjust the count so that drained()
+     * is a counter comparison instead of a full scan.
+     */
+    std::uint64_t inTransit_ = 0;
+    std::uint64_t mrqOccupancy_ = 0;       //!< of which still in an MRQ
+    std::uint64_t completionsPending_ = 0; //!< awaiting core drain
 };
 
 } // namespace mtp

@@ -26,6 +26,24 @@ Core::Core(const SimConfig &cfg, CoreId id, const KernelDesc *kernel,
         throttle_ = std::make_unique<ThrottleEngine>(cfg);
     if (cfg.stridePcLateThrottle)
         lateThrottle_ = std::make_unique<LatenessThrottle>();
+    issuable_.resize(warps_.size());
+    retirable_.resize(warps_.size());
+    freeBlockSlots_.resize(maxBlocks_);
+    for (unsigned s = 0; s < maxBlocks_; ++s)
+        freeBlockSlots_.set(s);
+    // Without a throttle engine, prefetcher or lateness throttle, the
+    // periodic update has no observable effect and never bounds a skip.
+    periodObservable_ = throttle_ || prefetcher_ || lateThrottle_;
+}
+
+void
+Core::refreshWarp(std::uint32_t idx)
+{
+    const Warp &warp = warps_[idx];
+    bool issuable = warp.active && !warp.cursor.done() &&
+                    warp.canIssue(warp.cursor.inst());
+    issuable_.assign(idx, issuable);
+    retirable_.assign(idx, warp.retirable());
 }
 
 Cycle
@@ -45,10 +63,14 @@ void
 Core::dispatchBlock(BlockId block)
 {
     MTP_ASSERT(hasBlockCapacity(), "dispatch to a full core");
-    unsigned slot = 0;
-    while (slot < maxBlocks_ && blockRemaining_[slot] != 0)
-        ++slot;
-    MTP_ASSERT(slot < maxBlocks_, "no free block slot despite capacity");
+    // Lowest free slot, as the original linear scan picked.
+    std::size_t found = freeBlockSlots_.findFrom(0);
+    MTP_ASSERT(found != DynBitset::npos && found < maxBlocks_,
+               "no free block slot despite capacity");
+    auto slot = static_cast<unsigned>(found);
+    MTP_ASSERT(blockRemaining_[slot] == 0,
+               "free-slot bit set on an occupied block slot");
+    freeBlockSlots_.clear(slot);
 
     blockRemaining_[slot] = kernel_->warpsPerBlock;
     blockIds_[slot] = block;
@@ -58,6 +80,8 @@ Core::dispatchBlock(BlockId block)
         MTP_ASSERT(!warps_[widx].active, "dispatch onto a live warp");
         GlobalWarpId gwid = block * kernel_->warpsPerBlock + w;
         warps_[widx].assign(kernel_, gwid, block);
+        ++activeWarpCount_;
+        refreshWarp(widx);
     }
     maxActiveWarps_ = std::max(maxActiveWarps_, activeWarps());
 }
@@ -65,10 +89,13 @@ Core::dispatchBlock(BlockId block)
 unsigned
 Core::activeWarps() const
 {
+#if MTP_SLOW_CHECKS
     unsigned n = 0;
     for (const auto &w : warps_)
         n += w.active ? 1 : 0;
-    return n;
+    MTP_ASSERT(n == activeWarpCount_, "active-warp counter out of sync");
+#endif
+    return activeWarpCount_;
 }
 
 bool
@@ -90,8 +117,8 @@ Core::tick(Cycle now)
 void
 Core::drainCompletions(Cycle now)
 {
-    auto &list = mem_->completions(id_);
-    for (auto &req : list) {
+    const auto &list = mem_->completions(id_);
+    for (const auto &req : list) {
         Mshr::Entry entry = mshr_.retire(req.addr);
         if (entry.prefetch) {
             prefCache_.fill(req.addr);
@@ -104,13 +131,14 @@ Core::drainCompletions(Cycle now)
             MTP_ASSERT(warp.active && warp.outstanding[s] > 0,
                        "completion for a slot with no outstanding load");
             --warp.outstanding[s];
+            refreshWarp(waiter.warpIdx);
             ++counters_.demandCount;
             counters_.demandLatencySum += now - waiter.issued;
             demandLatencyHist_.sample(
                 static_cast<double>(now - waiter.issued));
         }
     }
-    list.clear();
+    mem_->clearCompletions(id_);
 }
 
 void
@@ -131,6 +159,7 @@ Core::processLsu(Cycle now)
                 MTP_ASSERT(warp.outstanding[s] > 0,
                            "prefetch-cache hit with no outstanding load");
                 --warp.outstanding[s];
+                refreshWarp(lsu_.warpIdx);
                 ++lsu_.next;
                 continue;
             }
@@ -288,30 +317,34 @@ Core::issue(Cycle now)
     const auto n = static_cast<std::uint32_t>(warps_.size());
     if (n == 0)
         return;
+#if MTP_SLOW_CHECKS
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const Warp &w = warps_[i];
+        bool expect = w.active && !w.cursor.done() &&
+                      w.canIssue(w.cursor.inst());
+        MTP_ASSERT(issuable_.test(i) == expect,
+                   "issuable bit out of sync for warp ", i);
+    }
+#endif
+    if (!issuable_.any())
+        return;
     // Greedy-then-round-robin: keep issuing from the current warp until
     // it stalls (Table II: "executes instructions from one warp,
     // switching to another warp if source operands are not ready").
     // The pure round-robin ablation always moves to the next warp.
-    std::uint32_t first = cfg_.schedGreedy ? lastIssued_ : lastIssued_ + 1;
-    for (std::uint32_t k = 0; k < n; ++k) {
-        std::uint32_t idx = (first + k) % n;
+    // Visiting the issuable bitset in index order from `first` with
+    // wraparound reproduces the original (first + k) % n scan exactly;
+    // time (readyAt) and structural (LSU) hazards are re-checked here.
+    std::uint32_t first =
+        (cfg_.schedGreedy ? lastIssued_ : lastIssued_ + 1) % n;
+    auto tryIssue = [&](std::uint32_t idx) -> bool {
         Warp &warp = warps_[idx];
-        if (!warp.active || warp.cursor.done() || warp.readyAt > now)
-            continue;
+        if (warp.readyAt > now)
+            return false;
         const StaticInst &inst = warp.cursor.inst();
-        if (!warp.depsReady(inst))
-            continue;
-        if (inst.destSlot >= 0) {
-            // No register renaming: a second write to a slot waits,
-            // except the one-deep pipelining of binding prefetches.
-            auto s = static_cast<unsigned>(inst.destSlot);
-            unsigned waw_limit = inst.regPrefetch ? 1 : 0;
-            if (warp.outstanding[s] > waw_limit)
-                continue;
-        }
         bool is_mem = isMemOp(inst.op) && !cfg_.perfectMemory;
         if (is_mem && lsu_.valid)
-            continue; // LSU structural hazard
+            return false; // LSU structural hazard
 
         // Issue.
         Cycle occ = occupancy(inst);
@@ -342,35 +375,94 @@ Core::issue(Cycle now)
             startMemInst(inst, idx, now);
 
         warp.cursor.advance();
+        refreshWarp(idx);
         lastIssued_ = idx;
-        return;
+        return true;
+    };
+    for (std::size_t idx = issuable_.findFrom(first);
+         idx != DynBitset::npos; idx = issuable_.findFrom(idx + 1)) {
+        if (tryIssue(static_cast<std::uint32_t>(idx)))
+            return;
+    }
+    for (std::size_t idx = issuable_.findFrom(0);
+         idx != DynBitset::npos && idx < first;
+         idx = issuable_.findFrom(idx + 1)) {
+        if (tryIssue(static_cast<std::uint32_t>(idx)))
+            return;
     }
 }
 
 void
 Core::retireWarps()
 {
-    for (std::uint32_t idx = 0; idx < warps_.size(); ++idx) {
+#if MTP_SLOW_CHECKS
+    for (std::uint32_t i = 0; i < warps_.size(); ++i)
+        MTP_ASSERT(retirable_.test(i) == warps_[i].retirable(),
+                   "retirable bit out of sync for warp ", i);
+#endif
+    for (std::size_t found = retirable_.findFrom(0);
+         found != DynBitset::npos; found = retirable_.findFrom(found + 1)) {
+        auto idx = static_cast<std::uint32_t>(found);
         Warp &warp = warps_[idx];
-        if (!warp.retirable())
-            continue;
+        MTP_ASSERT(warp.retirable(), "retirable bit on a live warp");
         if (lsu_.valid && lsu_.warpIdx == idx)
             continue; // trailing stores/prefetches still at the LSU
         warp.active = false;
+        retirable_.clear(idx);
+        issuable_.clear(idx);
+        MTP_ASSERT(activeWarpCount_ > 0, "active-warp underflow");
+        --activeWarpCount_;
         ++counters_.warpsCompleted;
         unsigned slot = idx / kernel_->warpsPerBlock;
         MTP_ASSERT(blockRemaining_[slot] > 0, "retire underflow");
         if (--blockRemaining_[slot] == 0) {
             MTP_ASSERT(activeBlocks_ > 0, "block accounting underflow");
             --activeBlocks_;
+            freeBlockSlots_.set(slot);
             ++counters_.blocksCompleted;
         }
     }
 }
 
+Cycle
+Core::nextEventAt(Cycle now) const
+{
+    // A pending LSU operation retries every cycle (and a full MSHR
+    // counts a stall per retry cycle): never skip past it.
+    if (lsu_.valid)
+        return now;
+    Cycle e = invalidCycle;
+    if (periodObservable_)
+        e = nextPeriodAt_;
+    if (e > now && issuable_.any()) {
+        // Earliest possible issue: execution unit free AND some
+        // issuable warp past its readyAt.
+        Cycle min_ready = invalidCycle;
+        for (std::size_t idx = issuable_.findFrom(0);
+             idx != DynBitset::npos; idx = issuable_.findFrom(idx + 1)) {
+            Cycle r = warps_[idx].readyAt;
+            if (r <= now) {
+                min_ready = now;
+                break;
+            }
+            if (r < min_ready)
+                min_ready = r;
+        }
+        Cycle at = std::max(execBusyUntil_, min_ready);
+        if (at < e)
+            e = at;
+    }
+    return e <= now ? now : e;
+}
+
 void
 Core::periodUpdate(Cycle now)
 {
+    // With no throttle engine, prefetcher or lateness throttle the
+    // update would only reschedule itself: skip it entirely so
+    // nextEventAt() need not bound skips at period boundaries.
+    if (!periodObservable_)
+        return;
     if (now < nextPeriodAt_)
         return;
     nextPeriodAt_ = now + cfg_.throttlePeriod;

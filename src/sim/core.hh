@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitutils.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "core/prefetcher.hh"
@@ -79,8 +80,20 @@ class Core
     /** @return true iff no live warp or pending LSU work remains. */
     bool idle() const;
 
-    /** Number of live warps. */
+    /** Number of live warps. O(1): a maintained counter. */
     unsigned activeWarps() const;
+
+    /**
+     * Earliest cycle >= @p now at which this core might change state on
+     * its own: issue an instruction (execution unit free and an
+     * issuable warp ready), or run an observable periodic update. A
+     * pending LSU operation pins the bound to @p now (stalled LSUs
+     * retry — and count MSHR-full stalls — every cycle). Memory
+     * completions are accounted by MemSystem::nextEventAt(). Never
+     * later than the true next state change (the event-horizon
+     * contract).
+     */
+    Cycle nextEventAt(Cycle now) const;
 
     /** Peak concurrently-resident warps seen so far. */
     unsigned maxActiveWarps() const { return maxActiveWarps_; }
@@ -121,6 +134,14 @@ class Core
     /** Retire finished warps, free block slots. */
     void retireWarps();
 
+    /**
+     * Recompute warp @p idx's cached issuable/retirable bits. Must be
+     * called wherever the warp's scoreboard or cursor changes: block
+     * dispatch, instruction issue, completion drain, prefetch-cache
+     * hits, and retirement.
+     */
+    void refreshWarp(std::uint32_t idx);
+
     /** Periodic throttle / feedback updates. */
     void periodUpdate(Cycle now);
 
@@ -136,6 +157,19 @@ class Core
     std::vector<std::uint32_t> blockRemaining_; //!< per warp-slot group
     std::vector<BlockId> blockIds_;             //!< block per block slot
     std::uint32_t lastIssued_ = 0; //!< round-robin pointer
+
+    /**
+     * Incremental scheduler state. The bitsets cache per-warp
+     * predicates that depend only on warp-local state (scoreboard +
+     * cursor), so issue() and retireWarps() visit only plausible
+     * candidates and idle()/activeWarps() are O(1). Time (readyAt) and
+     * structural (LSU) hazards are cheap and stay checked at visit.
+     */
+    unsigned activeWarpCount_ = 0;
+    DynBitset issuable_;  //!< active, not done, scoreboard permits issue
+    DynBitset retirable_; //!< finished program and drained
+    DynBitset freeBlockSlots_; //!< block slots with no resident warps
+    bool periodObservable_ = false; //!< periodUpdate() mutates state
 
     Cycle execBusyUntil_ = 0;
 

@@ -1,5 +1,7 @@
 #include "sim/gpu.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace mtp {
@@ -23,6 +25,7 @@ Gpu::Gpu(const SimConfig &cfg, const KernelDesc &kernel)
     // is wasted exactly when the target warp's block lands on a
     // different core).
     std::uint64_t blocks = kernel_.numBlocks;
+    pendingBlocks_ = blocks;
     unsigned n = cfg_.numCores;
     nextBlockOfCore_.resize(n);
     endBlockOfCore_.resize(n);
@@ -53,8 +56,13 @@ Gpu::dispatchBlocks()
         for (unsigned k = 0; k < n; ++k) {
             CoreId c = (rrStartCore_ + k) % n;
             if (nextBlockOfCore_[0] < endBlockOfCore_[0] &&
-                cores_[c]->hasBlockCapacity())
+                cores_[c]->hasBlockCapacity()) {
+                if (cores_[c]->idle())
+                    ++busyCores_;
                 cores_[c]->dispatchBlock(nextBlockOfCore_[0]++);
+                MTP_ASSERT(pendingBlocks_ > 0, "pending-block underflow");
+                --pendingBlocks_;
+            }
         }
         rrStartCore_ = (rrStartCore_ + 1) % n;
         return;
@@ -63,8 +71,13 @@ Gpu::dispatchBlocks()
     // dispatch per core per cycle).
     for (CoreId c = 0; c < cores_.size(); ++c) {
         if (nextBlockOfCore_[c] < endBlockOfCore_[c] &&
-            cores_[c]->hasBlockCapacity())
+            cores_[c]->hasBlockCapacity()) {
+            if (cores_[c]->idle())
+                ++busyCores_;
             cores_[c]->dispatchBlock(nextBlockOfCore_[c]++);
+            MTP_ASSERT(pendingBlocks_ > 0, "pending-block underflow");
+            --pendingBlocks_;
+        }
     }
 }
 
@@ -72,8 +85,14 @@ void
 Gpu::step()
 {
     dispatchBlocks();
-    for (auto &core : cores_)
+    for (auto &core : cores_) {
+        bool was_busy = !core->idle();
         core->tick(now_);
+        if (was_busy && core->idle()) {
+            MTP_ASSERT(busyCores_ > 0, "busy-core underflow");
+            --busyCores_;
+        }
+    }
     mem_->tick(now_);
     if ((now_ & 127) == 0) {
         for (auto &core : cores_) {
@@ -90,6 +109,17 @@ Gpu::step()
 bool
 Gpu::done() const
 {
+    bool fast = pendingBlocks_ == 0 && busyCores_ == 0 && mem_->drained();
+#if MTP_SLOW_CHECKS
+    MTP_ASSERT(fast == doneScan(),
+               "done() counters disagree with exhaustive scan");
+#endif
+    return fast;
+}
+
+bool
+Gpu::doneScan() const
+{
     for (CoreId c = 0; c < cores_.size(); ++c) {
         if (nextBlockOfCore_[c] < endBlockOfCore_[c])
             return false;
@@ -98,18 +128,101 @@ Gpu::done() const
         if (!core->idle())
             return false;
     }
-    return mem_->drained();
+    return mem_->drainedScan();
+}
+
+Cycle
+Gpu::nextEventAt() const
+{
+    // A dispatchable block is an immediate event.
+    if (pendingBlocks_ > 0) {
+        if (!cfg_.dispatchContiguous) {
+            for (const auto &core : cores_) {
+                if (core->hasBlockCapacity())
+                    return now_;
+            }
+        } else {
+            for (CoreId c = 0; c < cores_.size(); ++c) {
+                if (nextBlockOfCore_[c] < endBlockOfCore_[c] &&
+                    cores_[c]->hasBlockCapacity())
+                    return now_;
+            }
+        }
+    }
+    Cycle e = mem_->nextEventAt(now_);
+    if (e <= now_)
+        return now_;
+    for (const auto &core : cores_) {
+        Cycle c = core->nextEventAt(now_);
+        if (c <= now_)
+            return now_;
+        if (c < e)
+            e = c;
+    }
+    return e;
+}
+
+void
+Gpu::skipTo(Cycle target)
+{
+    MTP_ASSERT(target > now_, "skipTo() not moving forward");
+    // Account for the active-warp samples the skipped per-cycle loop
+    // would have taken at each (cycle & 127) == 0 in [now_, target):
+    // no component acts in the window, so every sample sees the
+    // current state.
+    Cycle first = (now_ + 127) & ~Cycle{127};
+    if (first < target) {
+        std::uint64_t m = (target - 1 - first) / 128 + 1;
+        for (const auto &core : cores_) {
+            unsigned a = core->activeWarps();
+            if (a > 0) {
+                activeWarpSum_ += static_cast<std::uint64_t>(a) * m;
+                activeWarpSamples_ += m;
+            }
+        }
+    }
+    if (!cfg_.dispatchContiguous) {
+        // The round-robin dispatch origin rotates every cycle, even
+        // when nothing dispatches.
+        auto n = static_cast<unsigned>(cores_.size());
+        rrStartCore_ = static_cast<unsigned>(
+            (rrStartCore_ + (target - now_)) % n);
+    }
+    now_ = target;
 }
 
 RunResult
 Gpu::run()
 {
+    // Failed skip attempts (an event due this very cycle) back off
+    // exponentially so event-dense phases don't pay the bound
+    // computation every cycle. Stepping through skippable cycles is
+    // exactly what the naive loop does, so attempting less often can
+    // never change results — only forgo some speedup.
+    unsigned backoff = 0;
+    unsigned failedAttempts = 0;
     while (!done()) {
         if (now_ >= cfg_.maxCycles)
             MTP_FATAL("simulation of '", kernel_.name, "' exceeded ",
                       cfg_.maxCycles, " cycles; likely deadlock or ",
                       "an unreasonable configuration");
         step();
+        if (cfg_.fastForward && !done()) {
+            if (backoff > 0) {
+                --backoff;
+                continue;
+            }
+            // Skip cycles in which no component can act. Capping at
+            // maxCycles keeps the deadlock diagnostic identical.
+            Cycle target = std::min(nextEventAt(), cfg_.maxCycles);
+            if (target > now_) {
+                skipTo(target);
+                failedAttempts = 0;
+            } else {
+                failedAttempts = std::min(failedAttempts + 1, 3u);
+                backoff = 1u << failedAttempts;
+            }
+        }
     }
     return summarize();
 }

@@ -86,14 +86,36 @@ class Gpu
     Gpu(const Gpu &) = delete;
     Gpu &operator=(const Gpu &) = delete;
 
-    /** Run the kernel to completion and return the summary. */
+    /**
+     * Run the kernel to completion and return the summary. With
+     * cfg.fastForward (the default) the loop skips stretches of cycles
+     * in which no component can act, using the components'
+     * nextEventAt() bounds; results are bit-identical to the naive
+     * cycle-by-cycle loop, which remains available as the oracle with
+     * fastForward = false.
+     */
     RunResult run();
 
     /** Advance one cycle (exposed for fine-grained tests). */
     void step();
 
-    /** @return true when all blocks completed and memory drained. */
+    /**
+     * @return true when all blocks completed and memory drained.
+     * O(1): pending-block / busy-core counters plus the memory
+     * system's in-transit counters.
+     */
     bool done() const;
+
+    /** Exhaustive recomputation of done() (oracle for the counters). */
+    bool doneScan() const;
+
+    /**
+     * Earliest cycle >= now() at which any component might act: a
+     * dispatchable block, a memory-system event, or a core event. Never
+     * later than the true next state change (the event-horizon
+     * contract, DESIGN.md); invalidCycle when fully drained.
+     */
+    Cycle nextEventAt() const;
 
     Cycle now() const { return now_; }
     Core &core(CoreId id) { return *cores_[id]; }
@@ -103,6 +125,14 @@ class Gpu
   private:
     /** Hand out grid blocks to cores with free occupancy slots. */
     void dispatchBlocks();
+
+    /**
+     * Jump the clock to @p target (> now()), accounting for everything
+     * the skipped per-cycle loop would have done: the (now & 127)
+     * active-warp samples (state is constant across a skipped window)
+     * and the round-robin dispatch origin rotation.
+     */
+    void skipTo(Cycle target);
 
     /** Assemble the RunResult after the loop finishes. */
     RunResult summarize() const;
@@ -115,6 +145,8 @@ class Gpu
     std::vector<BlockId> endBlockOfCore_;  //!< per-core range end
     unsigned rrStartCore_ = 0; //!< rotating scan origin (rr dispatch)
     Cycle now_ = 0;
+    std::uint64_t pendingBlocks_ = 0; //!< grid blocks not yet dispatched
+    unsigned busyCores_ = 0;          //!< cores with !idle()
     std::uint64_t activeWarpSamples_ = 0;
     std::uint64_t activeWarpSum_ = 0;
 };

@@ -62,6 +62,29 @@ struct Warp
         return true;
     }
 
+    /**
+     * Full scoreboard check: may @p inst issue now, ignoring time
+     * (readyAt) and structural (LSU busy) hazards? Combines depsReady()
+     * with the write-after-write rule: a second write to a value slot
+     * waits for the first, except the one-deep pipelining of binding
+     * register prefetches. This predicate depends only on per-warp
+     * scoreboard state, so the core caches it per warp and refreshes it
+     * exactly where that state changes.
+     */
+    bool
+    canIssue(const StaticInst &inst) const
+    {
+        if (!depsReady(inst))
+            return false;
+        if (inst.destSlot >= 0) {
+            auto s = static_cast<unsigned>(inst.destSlot);
+            unsigned waw_limit = inst.regPrefetch ? 1 : 0;
+            if (outstanding[s] > waw_limit)
+                return false;
+        }
+        return true;
+    }
+
     /** @return true iff the warp finished its program and drained. */
     bool
     retirable() const

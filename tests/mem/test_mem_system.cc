@@ -42,7 +42,7 @@ TEST(MemSystem, RoundTripLatencyFloor)
     EXPECT_GE(done, floor);
     EXPECT_LE(done, floor + 10);
     EXPECT_TRUE(mem.completions(0)[0].addr == 0x0);
-    mem.completions(0).clear();
+    mem.clearCompletions(0);
     EXPECT_TRUE(mem.drained());
 }
 
@@ -101,8 +101,8 @@ TEST(MemSystem, InterCoreMergeDeliversToBothCores)
     EXPECT_EQ(mem.channel(mem.channelOf(0x40)).counters()
                   .interCoreMerges,
               1u);
-    mem.completions(0).clear();
-    mem.completions(1).clear();
+    mem.clearCompletions(0);
+    mem.clearCompletions(1);
 }
 
 TEST(MemSystem, UpgradeReachesQueuedPrefetch)
@@ -131,10 +131,10 @@ TEST(MemSystem, BackpressureNeverLosesRequests)
         mem.tick(now++);
     }
     while (!mem.drained() && now < 100000) {
-        mem.completions(0).clear();
+        mem.clearCompletions(0);
         mem.tick(now++);
     }
-    mem.completions(0).clear();
+    mem.clearCompletions(0);
     EXPECT_TRUE(mem.drained());
     std::uint64_t serviced = 0;
     for (unsigned ch = 0; ch < mem.numChannels(); ++ch)

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Golden-equivalence suite for event-driven cycle skipping: a run with
+ * cfg.fastForward (the default) must be bit-identical to the naive
+ * cycle-by-cycle oracle loop (fastForward = false) — every RunResult
+ * field and the full statistics dump — across kernels, prefetcher
+ * configurations, throttling, and the scheduler/dispatch ablations.
+ * Also regression-tests the O(1) done() counters against the
+ * exhaustive scan at every step.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sw_prefetch.hh"
+#include "driver/run_cache.hh"
+#include "sim/gpu.hh"
+#include "tests/test_helpers.hh"
+
+namespace mtp {
+namespace {
+
+std::string
+dumpStats(const RunResult &r)
+{
+    std::ostringstream os;
+    r.stats.dumpText(os);
+    return os.str();
+}
+
+void
+expectBitIdentical(const RunResult &fast, const RunResult &naive,
+                   const std::string &label)
+{
+    EXPECT_EQ(fast.cycles, naive.cycles) << label;
+    EXPECT_EQ(fast.warpInsts, naive.warpInsts) << label;
+    EXPECT_EQ(fast.dramBytes, naive.dramBytes) << label;
+    EXPECT_EQ(fast.prefFills, naive.prefFills) << label;
+    EXPECT_EQ(fast.prefUseful, naive.prefUseful) << label;
+    EXPECT_EQ(fast.prefEarlyEvicted, naive.prefEarlyEvicted) << label;
+    EXPECT_EQ(fast.prefLate, naive.prefLate) << label;
+    EXPECT_EQ(fast.prefCacheHits, naive.prefCacheHits) << label;
+    EXPECT_EQ(fast.demandTxns, naive.demandTxns) << label;
+    EXPECT_DOUBLE_EQ(fast.cpi, naive.cpi) << label;
+    EXPECT_DOUBLE_EQ(fast.avgDemandLatency, naive.avgDemandLatency)
+        << label;
+    EXPECT_DOUBLE_EQ(fast.avgPrefetchLatency, naive.avgPrefetchLatency)
+        << label;
+    EXPECT_DOUBLE_EQ(fast.avgActiveWarps, naive.avgActiveWarps) << label;
+    // The strongest check: the entire hierarchical stat dump — every
+    // counter of every core, channel and prefetch structure — must
+    // match byte for byte.
+    EXPECT_EQ(dumpStats(fast), dumpStats(naive)) << label;
+}
+
+std::vector<std::pair<std::string, KernelDesc>>
+goldenKernels()
+{
+    std::vector<std::pair<std::string, KernelDesc>> kernels;
+    kernels.emplace_back("stream", test::tinyStreamKernel(2, 4, 4, 1));
+    kernels.emplace_back("stream2", test::tinyStreamKernel(2, 4, 4, 2));
+    kernels.emplace_back("mp", test::tinyMpKernel(2, 8));
+    kernels.emplace_back("compute", test::tinyComputeKernel());
+    kernels.emplace_back(
+        "swpref_stride",
+        applySwPrefetch(test::tinyStreamKernel(2, 4, 6, 1),
+                        SwPrefKind::Stride, SwPrefetchOptions{}));
+    kernels.emplace_back(
+        "swpref_mtswp",
+        applySwPrefetch(test::tinyStreamKernel(2, 4, 6, 1),
+                        SwPrefKind::StrideIP, SwPrefetchOptions{}));
+    return kernels;
+}
+
+std::vector<std::pair<std::string, SimConfig>>
+goldenConfigs()
+{
+    std::vector<std::pair<std::string, SimConfig>> configs;
+
+    configs.emplace_back("baseline", test::tinyConfig());
+
+    SimConfig mthwp = test::tinyConfig();
+    mthwp.hwPref = HwPrefKind::MTHWP;
+    configs.emplace_back("mthwp", mthwp);
+
+    SimConfig throttled = test::tinyConfig();
+    throttled.hwPref = HwPrefKind::MTHWP;
+    throttled.throttleEnable = true;
+    throttled.throttlePeriod = 500;
+    configs.emplace_back("mthwp_throttle", throttled);
+
+    SimConfig late = test::tinyConfig();
+    late.hwPref = HwPrefKind::StridePC;
+    late.stridePcLateThrottle = true;
+    late.throttlePeriod = 500;
+    configs.emplace_back("stridepc_late", late);
+
+    SimConfig ghb = test::tinyConfig();
+    ghb.hwPref = HwPrefKind::GHB;
+    ghb.ghbFeedback = true;
+    ghb.throttlePeriod = 500;
+    configs.emplace_back("ghb_feedback", ghb);
+
+    SimConfig ablation = test::tinyConfig();
+    ablation.schedGreedy = false;
+    ablation.dispatchContiguous = false;
+    configs.emplace_back("rr_sched_dispatch", ablation);
+
+    SimConfig perfect = test::tinyConfig();
+    perfect.perfectMemory = true;
+    configs.emplace_back("perfect_memory", perfect);
+
+    return configs;
+}
+
+/**
+ * The full golden matrix: every kernel under every configuration must
+ * produce byte-identical results with and without fast-forwarding.
+ */
+TEST(FastForwardGolden, MatrixIdentical)
+{
+    for (const auto &[cname, cfg] : goldenConfigs()) {
+        for (const auto &[kname, kernel] : goldenKernels()) {
+            SimConfig fast = cfg;
+            fast.fastForward = true;
+            SimConfig naive = cfg;
+            naive.fastForward = false;
+            expectBitIdentical(simulate(fast, kernel),
+                               simulate(naive, kernel),
+                               cname + "/" + kname);
+        }
+    }
+}
+
+/**
+ * Throttle periods that are not multiples of the sampling window (128)
+ * force skips to stop exactly at observable period boundaries; an
+ * off-by-one there shifts every subsequent throttle decision.
+ */
+TEST(FastForwardGolden, ThrottlePeriodBoundaries)
+{
+    KernelDesc kernel = test::tinyStreamKernel(2, 6, 8, 2);
+    for (Cycle period : {137u, 500u, 777u, 2000u}) {
+        SimConfig cfg = test::tinyConfig();
+        cfg.hwPref = HwPrefKind::MTHWP;
+        cfg.throttleEnable = true;
+        cfg.throttlePeriod = period;
+        SimConfig naive = cfg;
+        naive.fastForward = false;
+        expectBitIdentical(simulate(cfg, kernel), simulate(naive, kernel),
+                           "period=" + std::to_string(period));
+    }
+}
+
+/**
+ * The counter-based done() must agree with the exhaustive scan after
+ * every single step of a naive run (the scan is the definition).
+ */
+TEST(DoneCounter, MatchesExhaustiveScanEveryStep)
+{
+    SimConfig cfg = test::tinyConfig();
+    cfg.hwPref = HwPrefKind::MTHWP;
+    Gpu gpu(cfg, test::tinyStreamKernel(2, 4, 4, 2));
+    std::size_t steps = 0;
+    while (!gpu.doneScan()) {
+        EXPECT_EQ(gpu.done(), gpu.doneScan()) << "cycle " << gpu.now();
+        gpu.step();
+        ASSERT_LT(++steps, 1'000'000u) << "runaway simulation";
+    }
+    EXPECT_TRUE(gpu.done());
+}
+
+/** Same regression under the round-robin dispatch ablation. */
+TEST(DoneCounter, MatchesExhaustiveScanRrDispatch)
+{
+    SimConfig cfg = test::tinyConfig();
+    cfg.dispatchContiguous = false;
+    cfg.schedGreedy = false;
+    Gpu gpu(cfg, test::tinyMpKernel(2, 8));
+    std::size_t steps = 0;
+    while (!gpu.doneScan()) {
+        EXPECT_EQ(gpu.done(), gpu.doneScan()) << "cycle " << gpu.now();
+        gpu.step();
+        ASSERT_LT(++steps, 1'000'000u) << "runaway simulation";
+    }
+    EXPECT_TRUE(gpu.done());
+}
+
+/**
+ * fastForward feeds the config dump and hence the RunCache
+ * fingerprint: oracle and fast runs must be distinct cache entries
+ * that agree on results. Run under the parallel driver so the TSan
+ * build exercises the new counters across worker threads.
+ */
+TEST(FastForwardGolden, DriverMatrixUnderParallelExecutor)
+{
+    std::vector<KernelDesc> kernels = {
+        test::tinyStreamKernel(2, 6, 4),
+        test::tinyMpKernel(2, 8),
+    };
+    SimConfig fast = test::tinyConfig();
+    fast.hwPref = HwPrefKind::MTHWP;
+    SimConfig naive = fast;
+    naive.fastForward = false;
+
+    driver::ParallelExecutor exec(4);
+    driver::RunCache cache(exec);
+    for (const auto &k : kernels) {
+        cache.submit(fast, k);
+        cache.submit(naive, k);
+    }
+    EXPECT_EQ(cache.misses(), 4u);
+    for (const auto &k : kernels)
+        expectBitIdentical(cache.result(fast, k), cache.result(naive, k),
+                           k.name);
+}
+
+} // namespace
+} // namespace mtp
