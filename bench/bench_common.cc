@@ -30,9 +30,15 @@ parseArgs(int argc, char **argv)
             opts.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
             if (opts.jobs == 0)
                 MTP_FATAL("--jobs must be >= 1");
+        } else if (arg == "--sample-period" && i + 1 < argc) {
+            opts.samplePeriod = static_cast<Cycle>(
+                std::stoull(argv[++i]));
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            opts.traceOut = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--scale N] [--bench a,b,...] "
-                        "[--jobs N] [key=value ...]\n",
+                        "[--jobs N] [--sample-period N] "
+                        "[--trace-out file.json] [key=value ...]\n",
                         argv[0]);
             std::exit(0);
         } else if (arg.find('=') != std::string::npos) {
@@ -42,6 +48,16 @@ parseArgs(int argc, char **argv)
         }
     }
     return opts;
+}
+
+obs::ObsConfig
+obsConfig(const Options &opts, const std::string &runTag)
+{
+    obs::ObsConfig ocfg;
+    ocfg.samplePeriod = opts.samplePeriod;
+    if (!opts.traceOut.empty())
+        ocfg.chromePath = obs::perRunPath(opts.traceOut, runTag);
+    return ocfg;
 }
 
 SimConfig

@@ -28,13 +28,26 @@ struct Options
     unsigned scaleDiv = 8;      //!< grid divisor vs. the paper
     Cycle throttlePeriod = 5000; //!< scaled from the paper's 100K
     unsigned jobs = 0;          //!< worker threads (0 = all cores)
+    Cycle samplePeriod = 0;     //!< --sample-period (0 = no sampling)
+    std::string traceOut;       //!< --trace-out Chrome trace base path
     std::vector<std::string> overrides; //!< SimConfig key=value pairs
     std::vector<std::string> benchmarks; //!< subset filter (--bench a,b)
 };
 
-/** Parse argv; recognises --scale, --bench, --jobs and key=value
- *  overrides. */
+/** Parse argv; recognises --scale, --bench, --jobs, --sample-period,
+ *  --trace-out and key=value overrides. */
 Options parseArgs(int argc, char **argv);
+
+/**
+ * Observation settings for one run of a harness, derived from
+ * --sample-period / --trace-out. @p runTag (e.g. "mthwp.stream") is
+ * inserted into the output path so the many runs of one harness don't
+ * clobber each other; with --trace-out the Chrome trace doubles as the
+ * time-series sink. Returns a disabled config when neither flag was
+ * given. Observation never enters the run fingerprint; the first
+ * submission of a (config, kernel) key decides its ObsConfig.
+ */
+obs::ObsConfig obsConfig(const Options &opts, const std::string &runTag);
 
 /** Table II baseline with the scaled throttle period + overrides. */
 SimConfig baseConfig(const Options &opts);
@@ -78,9 +91,10 @@ class Runner
 
     /** Schedule a simulation without waiting for it. */
     void
-    submit(const SimConfig &cfg, const KernelDesc &kernel)
+    submit(const SimConfig &cfg, const KernelDesc &kernel,
+           const obs::ObsConfig &ocfg = {})
     {
-        cache_.submit(cfg, kernel);
+        cache_.submit(cfg, kernel, ocfg);
     }
 
     /** Schedule a workload's no-prefetching baseline run. */

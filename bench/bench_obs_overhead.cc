@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Overhead guard for the observability layer.
+ *
+ * The lifecycle hooks (MTP_OBS_HOOK) sit on the simulator's hottest
+ * paths — MRQ enqueue, coalescing, DRAM scheduling, prefetch issue —
+ * and the contract is that with tracing compiled in but *disabled*
+ * (null tracer pointers, no observer attached) they cost nothing
+ * measurable. This harness verifies that claim against a true
+ * baseline: a second build of the hook-bearing layers compiled with
+ * -DMTP_OBS_ENABLED=0 (target bench_obs_overhead_noobs), where the
+ * hooks do not exist at all.
+ *
+ * Both binaries share this source. The instrumented one, given
+ * --compare-with <noobs binary>, runs the disabled-path measurement in
+ * both processes, computes the regression from min-of-reps wall times,
+ * and fails if it exceeds the threshold (default 2%, plus a small
+ * absolute slack so sub-second smoke runs don't flake on scheduler
+ * noise). It also reports the cost of *enabled* tracing + sampling for
+ * reference; that number is informational, not asserted.
+ *
+ * Usage: bench_obs_overhead [--smoke] [--scale N] [--reps N]
+ *          [--out FILE] [--compare-with BIN] [--threshold PCT]
+ *          [--disabled-only]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "mtprefetch/mtprefetch.hh"
+
+namespace {
+
+using namespace mtp;
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/** Min-of-reps wall time of one simulation; min rejects noise. */
+template <typename Fn>
+double
+minSeconds(unsigned reps, Fn &&fn)
+{
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        double s = seconds(t0, t1);
+        if (r == 0 || s < best)
+            best = s;
+    }
+    return best;
+}
+
+double
+kcyclesPerSec(Cycle cycles, double secs)
+{
+    return secs > 0.0 ? static_cast<double>(cycles) / secs / 1000.0 : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned scaleDiv = 8;
+    unsigned reps = 5;
+    bool smoke = false;
+    [[maybe_unused]] bool disabledOnly = false; // unused in no-obs build
+    double thresholdPct = 2.0;
+    std::string out = "BENCH_obs_overhead.json";
+    std::string compareWith;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--scale" && i + 1 < argc) {
+            scaleDiv = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--reps" && i + 1 < argc) {
+            reps = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else if (arg == "--compare-with" && i + 1 < argc) {
+            compareWith = argv[++i];
+        } else if (arg == "--threshold" && i + 1 < argc) {
+            thresholdPct = std::atof(argv[++i]);
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--disabled-only") {
+            disabledOnly = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--scale N] [--reps N] "
+                         "[--out FILE] [--compare-with BIN] "
+                         "[--threshold PCT] [--disabled-only]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (smoke) {
+        scaleDiv = 64;
+        reps = 3;
+    }
+
+    // A memory-intensive workload with hardware prefetching and the
+    // throttle engine on exercises every hook site: coalesce, MRQ
+    // enqueue, prefetch issue/drop, DRAM enqueue/schedule/done, return
+    // and throttle updates.
+    SimConfig cfg;
+    cfg.throttlePeriod = std::max<Cycle>(1000, 40000 / scaleDiv);
+    cfg.hwPref = HwPrefKind::MTHWP;
+    cfg.throttleEnable = true;
+    Workload w = Suite::get("stream", scaleDiv);
+
+    RunResult warm = simulate(cfg, w.kernel); // warm caches, get cycles
+    double disabledSec =
+        minSeconds(reps, [&] { simulate(cfg, w.kernel); });
+
+    double enabledSec = 0.0;
+#if MTP_OBS_ENABLED
+    if (!disabledOnly) {
+        obs::ObsConfig ocfg;
+        ocfg.samplePeriod = 512;
+        ocfg.chromePath = out + ".enabled.trace.json";
+        enabledSec =
+            minSeconds(reps, [&] { simulate(cfg, w.kernel, ocfg); });
+        std::remove(ocfg.chromePath.c_str());
+    }
+#endif
+
+    std::printf("bench_obs_overhead: stream/mthwp+throttle, scale 1/%u, "
+                "%u reps, %llu cycles%s\n",
+                scaleDiv, reps,
+                static_cast<unsigned long long>(warm.cycles),
+                MTP_OBS_ENABLED ? "" : " [no-obs build]");
+    std::printf("  hooks disabled: %8.3f s  (%10.1f kcycles/s)\n",
+                disabledSec, kcyclesPerSec(warm.cycles, disabledSec));
+    if (enabledSec > 0.0)
+        std::printf("  tracing on:     %8.3f s  (%10.1f kcycles/s, "
+                    "+%.1f%%)\n",
+                    enabledSec, kcyclesPerSec(warm.cycles, enabledSec),
+                    100.0 * (enabledSec / disabledSec - 1.0));
+
+    double noobsSec = 0.0;
+    double overheadPct = 0.0;
+    bool compared = false;
+    bool pass = true;
+    if (!compareWith.empty()) {
+        std::string childOut = out + ".noobs.json";
+        std::string cmd = "\"" + compareWith + "\" --disabled-only --reps " +
+                          std::to_string(reps) + " --scale " +
+                          std::to_string(scaleDiv) + " --out \"" +
+                          childOut + "\"";
+        if (std::system(cmd.c_str()) != 0)
+            MTP_FATAL("baseline run failed: ", cmd);
+
+        std::ifstream in(childOut);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        obs::JsonValue doc;
+        std::string err;
+        if (!obs::parseJson(ss.str(), doc, &err))
+            MTP_FATAL("cannot parse ", childOut, ": ", err);
+        const obs::JsonValue *v = doc.find("disabledSeconds");
+        if (!v || !v->isNumber())
+            MTP_FATAL(childOut, " has no disabledSeconds");
+        noobsSec = v->number;
+        std::remove(childOut.c_str());
+
+        compared = true;
+        overheadPct = 100.0 * (disabledSec / noobsSec - 1.0);
+        // Small absolute slack: sub-second smoke runs see scheduler
+        // noise bigger than any per-hook cost.
+        pass = disabledSec <=
+               noobsSec * (1.0 + thresholdPct / 100.0) + 0.05;
+        std::printf("  no-obs build:   %8.3f s  (%10.1f kcycles/s)\n",
+                    noobsSec, kcyclesPerSec(warm.cycles, noobsSec));
+        std::printf("  disabled-hook overhead: %+.2f%% (threshold "
+                    "%.1f%%): %s\n",
+                    overheadPct, thresholdPct, pass ? "PASS" : "FAIL");
+    }
+
+    std::ofstream os(out);
+    os << "{\n  \"bench\": \"obs_overhead\",\n"
+       << "  \"obsCompiledIn\": " << (MTP_OBS_ENABLED ? "true" : "false")
+       << ",\n  \"workload\": \"stream\",\n  \"scaleDiv\": " << scaleDiv
+       << ",\n  \"reps\": " << reps << ",\n  \"cycles\": " << warm.cycles
+       << ",\n  \"disabledSeconds\": " << disabledSec
+       << ",\n  \"disabledKcyclesPerSec\": "
+       << kcyclesPerSec(warm.cycles, disabledSec);
+    if (enabledSec > 0.0)
+        os << ",\n  \"enabledSeconds\": " << enabledSec
+           << ",\n  \"enabledKcyclesPerSec\": "
+           << kcyclesPerSec(warm.cycles, enabledSec)
+           << ",\n  \"enabledOverheadPct\": "
+           << 100.0 * (enabledSec / disabledSec - 1.0);
+    if (compared)
+        os << ",\n  \"noobsSeconds\": " << noobsSec
+           << ",\n  \"overheadPct\": " << overheadPct
+           << ",\n  \"thresholdPct\": " << thresholdPct
+           << ",\n  \"pass\": " << (pass ? "true" : "false");
+    os << "\n}\n";
+    std::printf("wrote %s\n", out.c_str());
+
+    if (!pass) {
+        std::fprintf(stderr,
+                     "FAIL: disabled tracing hooks cost %.2f%% "
+                     "(threshold %.1f%%)\n",
+                     overheadPct, thresholdPct);
+        return 1;
+    }
+    return 0;
+}

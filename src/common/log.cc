@@ -1,24 +1,43 @@
 #include "common/log.hh"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
 
 namespace mtp {
 
 namespace {
-LogLevel globalLevel = LogLevel::Warn;
+
+// The parallel driver logs from worker threads concurrently; keep the
+// level a relaxed atomic and emit each message with one fwrite so lines
+// from different threads never interleave (POSIX locks stream writes,
+// and a single write is all-or-nothing even on other platforms).
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+void
+writeLine(const char *tag, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += tag;
+    line += msg;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -26,38 +45,38 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
-              << std::endl;
+    writeLine("panic: ",
+              msg + "\n  @ " + file + ":" + std::to_string(line));
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
-              << std::endl;
+    writeLine("fatal: ",
+              msg + "\n  @ " + file + ":" + std::to_string(line));
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Warn)
-        std::cerr << "warn: " << msg << std::endl;
+    if (logLevel() >= LogLevel::Warn)
+        writeLine("warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Inform)
-        std::cerr << "info: " << msg << std::endl;
+    if (logLevel() >= LogLevel::Inform)
+        writeLine("info: ", msg);
 }
 
 void
 debugImpl(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Debug)
-        std::cerr << "debug: " << msg << std::endl;
+    if (logLevel() >= LogLevel::Debug)
+        writeLine("debug: ", msg);
 }
 
 } // namespace detail

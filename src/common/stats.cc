@@ -83,12 +83,91 @@ StatSet::dumpText(std::ostream &os) const
     }
 }
 
+namespace {
+
+/** RFC 4180 field quoting: only when the field needs it. */
+void
+writeCsvField(std::ostream &os, const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos) {
+        os << field;
+        return;
+    }
+    os << '"';
+    for (char c : field) {
+        if (c == '"')
+            os << '"';
+        os << c;
+    }
+    os << '"';
+}
+
+/** Minimal JSON string escaping for stat names/descriptions. */
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                const char *hex = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+            break;
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
 void
 StatSet::dumpCsv(std::ostream &os) const
 {
-    os << "name,value\n";
-    for (const auto &e : entries_)
-        os << e.name << ',' << std::setprecision(12) << e.value << '\n';
+    os << "name,value,description\n";
+    for (const auto &e : entries_) {
+        writeCsvField(os, e.name);
+        os << ',' << std::setprecision(12) << e.value << ',';
+        writeCsvField(os, e.desc);
+        os << '\n';
+    }
+}
+
+void
+StatSet::dumpJson(std::ostream &os) const
+{
+    os << "{\n";
+    bool first = true;
+    for (const auto &e : entries_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  ";
+        writeJsonString(os, e.name);
+        os << ": {\"value\": " << std::setprecision(17) << e.value
+           << ", \"desc\": ";
+        writeJsonString(os, e.desc);
+        os << '}';
+    }
+    os << "\n}\n";
 }
 
 Histogram::Histogram(double lo, double hi, unsigned nbuckets)

@@ -70,8 +70,15 @@ class StatSet
     /** Dump as aligned "name value # desc" lines. */
     void dumpText(std::ostream &os) const;
 
-    /** Dump as "name,value" CSV with a header row. */
+    /**
+     * Dump as "name,value,description" CSV with a header row. Fields
+     * containing commas, quotes or newlines are quoted RFC 4180 style
+     * (embedded quotes doubled).
+     */
     void dumpCsv(std::ostream &os) const;
+
+    /** Dump as a JSON object: {"name": {"value": v, "desc": "..."}}. */
+    void dumpJson(std::ostream &os) const;
 
   private:
     std::vector<Entry> entries_;

@@ -1,33 +1,9 @@
 #include "core/throttle.hh"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 #include <limits>
-#include <string>
 
 namespace mtp {
-
-namespace {
-
-/** Per-period stderr tracing, enabled with MTP_THROTTLE_TRACE=1
- *  (unset, empty or "0" disables it, as documented). */
-bool
-traceEnabled()
-{
-    // Magic-static initialization is thread-safe (C++11 [stmt.dcl]):
-    // the parallel driver runs ThrottleEngines on worker threads, and
-    // whichever thread gets here first parses the variable while the
-    // rest block on the guard.
-    static const bool enabled = [] {
-        const char *v = std::getenv("MTP_THROTTLE_TRACE");
-        return v != nullptr && v[0] != '\0' &&
-               std::string(v) != "0";
-    }();
-    return enabled;
-}
-
-} // namespace
 
 ThrottleEngine::ThrottleEngine(const SimConfig &cfg)
     : earlyHigh_(cfg.earlyEvictHigh),
@@ -38,7 +14,7 @@ ThrottleEngine::ThrottleEngine(const SimConfig &cfg)
 }
 
 void
-ThrottleEngine::updatePeriod(const Snapshot &cumulative)
+ThrottleEngine::updatePeriod(const Snapshot &cumulative, Cycle now)
 {
     ++updates_;
     std::uint64_t d_early = cumulative.earlyEvictions - last_.earlyEvictions;
@@ -61,16 +37,12 @@ ThrottleEngine::updatePeriod(const Snapshot &cumulative)
     curMerge_ = updates_ == 1 ? monitored_merge
                               : (curMerge_ + monitored_merge) / 2.0;
 
-    if (traceEnabled()) {
-        std::fprintf(stderr,
-                     "throttle: upd=%llu fills=%llu early=%llu "
-                     "useful=%llu merge=%.3f deg=%u\n",
-                     static_cast<unsigned long long>(updates_),
-                     static_cast<unsigned long long>(d_fills),
-                     static_cast<unsigned long long>(d_early),
-                     static_cast<unsigned long long>(d_useful), curMerge_,
-                     degree_);
-    }
+    // Emitted after the merge-ratio update and before the Table I
+    // decision, exactly where the old stderr hook sat: `degree` is the
+    // degree the period ran with, not the one about to be chosen.
+    MTP_OBS_HOOK(tracer_,
+                 throttleUpdate(coreId_, now, updates_, d_fills, d_early,
+                                d_useful, curMerge_, degree_));
 
     if (d_fills < observableFills || (d_useful == 0 && d_early == 0)) {
         // Too little prefetch flow this period for the early-eviction

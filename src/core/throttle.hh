@@ -24,6 +24,7 @@
 
 #include "common/config.hh"
 #include "common/stats.hh"
+#include "obs/trace.hh"
 
 namespace mtp {
 
@@ -54,8 +55,22 @@ class ThrottleEngine
     /**
      * Period-boundary update: compute the monitored metrics from the
      * delta against the previous snapshot and apply Table I.
+     * @param now current cycle, for the optional trace event
      */
-    void updatePeriod(const Snapshot &cumulative);
+    void updatePeriod(const Snapshot &cumulative, Cycle now = 0);
+
+    /**
+     * Emit one trace event per period update to @p tracer (borrowed;
+     * may be null to detach). Replaces the old MTP_THROTTLE_TRACE
+     * stderr hook; the environment variable survives as an alias that
+     * routes this stream to stderr (see obs::throttleTraceEnvEnabled).
+     */
+    void
+    setTrace(obs::TraceRecorder *tracer, CoreId core)
+    {
+        tracer_ = tracer;
+        coreId_ = core;
+    }
 
     /**
      * Per-prefetch-request filter.
@@ -98,6 +113,8 @@ class ThrottleEngine
     std::uint64_t idlePeriods_ = 0;
     std::uint64_t idleSinceProbe_ = 0;
     std::uint64_t probeBackoff_ = 1;
+    obs::TraceRecorder *tracer_ = nullptr;
+    CoreId coreId_ = 0;
 };
 
 /**

@@ -4,7 +4,8 @@ namespace mtp {
 namespace driver {
 
 RunCache::Entry &
-RunCache::lookup(const SimConfig &cfg, const KernelDesc &kernel)
+RunCache::lookup(const SimConfig &cfg, const KernelDesc &kernel,
+                 const obs::ObsConfig &ocfg)
 {
     Fingerprint fp = fingerprint(cfg, kernel);
     std::lock_guard<std::mutex> lock(mutex_);
@@ -15,10 +16,12 @@ RunCache::lookup(const SimConfig &cfg, const KernelDesc &kernel)
     }
     misses_.fetch_add(1);
     auto entry = std::make_unique<Entry>();
-    // The job owns copies: the caller's cfg/kernel may die before the
-    // worker runs.
+    // The job owns copies: the caller's cfg/kernel/ocfg may die before
+    // the worker runs. Observation is attached only here, on the miss
+    // (first submission wins); it is read-only and keeps results
+    // bit-identical, so cache hits stay valid regardless of ocfg.
     entry->future = exec_.submit(
-        [cfg, kernel]() { return simulate(cfg, kernel); });
+        [cfg, kernel, ocfg]() { return simulate(cfg, kernel, ocfg); });
     auto [pos, inserted] = entries_.emplace(std::move(fp),
                                             std::move(entry));
     (void)inserted;
@@ -26,15 +29,17 @@ RunCache::lookup(const SimConfig &cfg, const KernelDesc &kernel)
 }
 
 void
-RunCache::submit(const SimConfig &cfg, const KernelDesc &kernel)
+RunCache::submit(const SimConfig &cfg, const KernelDesc &kernel,
+                 const obs::ObsConfig &ocfg)
 {
-    lookup(cfg, kernel);
+    lookup(cfg, kernel, ocfg);
 }
 
 const RunResult &
-RunCache::result(const SimConfig &cfg, const KernelDesc &kernel)
+RunCache::result(const SimConfig &cfg, const KernelDesc &kernel,
+                 const obs::ObsConfig &ocfg)
 {
-    return lookup(cfg, kernel).future.get();
+    return lookup(cfg, kernel, ocfg).future.get();
 }
 
 std::size_t

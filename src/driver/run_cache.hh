@@ -34,6 +34,7 @@
 
 #include "driver/fingerprint.hh"
 #include "driver/parallel_executor.hh"
+#include "obs/observer.hh"
 #include "sim/gpu.hh"
 
 namespace mtp {
@@ -51,17 +52,29 @@ class RunCache
     /**
      * Ensure a run for (cfg, kernel) is scheduled (or already done).
      * Returns immediately. Thread-safe.
+     *
+     * The optional @p ocfg attaches observation (sampling/tracing) to
+     * the run if — and only if — this submission is the cache miss
+     * that schedules it. Observation is read-only and never part of
+     * the Fingerprint, so a later submission of the same (cfg, kernel)
+     * with a different ObsConfig hits the existing entry and its
+     * ObsConfig is ignored: first submission wins. Callers that need
+     * guaranteed trace output for a key must therefore submit it with
+     * the ObsConfig before any plain submission of that key.
      */
-    void submit(const SimConfig &cfg, const KernelDesc &kernel);
+    void submit(const SimConfig &cfg, const KernelDesc &kernel,
+                const obs::ObsConfig &ocfg = {});
 
     /**
      * Blocking lookup: submit if needed, wait for the run, return the
      * cached result. The reference remains valid until destruction.
      * Thread-safe; concurrent callers of the same key get the same
-     * object.
+     * object. @p ocfg follows the same first-submission-wins rule as
+     * submit().
      */
     const RunResult &result(const SimConfig &cfg,
-                            const KernelDesc &kernel);
+                            const KernelDesc &kernel,
+                            const obs::ObsConfig &ocfg = {});
 
     /** Distinct runs scheduled (cache misses). */
     std::uint64_t misses() const { return misses_.load(); }
@@ -79,7 +92,8 @@ class RunCache
     };
 
     /** Find-or-create the entry, scheduling the run on a miss. */
-    Entry &lookup(const SimConfig &cfg, const KernelDesc &kernel);
+    Entry &lookup(const SimConfig &cfg, const KernelDesc &kernel,
+                  const obs::ObsConfig &ocfg);
 
     ParallelExecutor &exec_;
     mutable std::mutex mutex_;

@@ -19,7 +19,8 @@ toCoreCycles(unsigned dram_cycles, unsigned num, unsigned den)
 } // namespace
 
 DramChannel::DramChannel(const SimConfig &cfg, unsigned channelId)
-    : channels_(cfg.dramChannels),
+    : channelId_(channelId),
+      channels_(cfg.dramChannels),
       numBanks_(cfg.dramBanks),
       blocksPerRow_(cfg.dramRowBytes / blockBytes),
       bufEntries_(cfg.memBufEntries),
@@ -32,7 +33,6 @@ DramChannel::DramChannel(const SimConfig &cfg, unsigned channelId)
       banks_(cfg.dramBanks),
       bankPending_(cfg.dramBanks, 0)
 {
-    (void)channelId;
     MTP_ASSERT(blocksPerRow_ > 0, "row smaller than a block");
     MTP_ASSERT(burst_ > 0, "bus wider than a block");
 }
@@ -112,6 +112,15 @@ DramChannel::nextEventAt(Cycle now) const
     return e;
 }
 
+unsigned
+DramChannel::busyBanks(Cycle now) const
+{
+    unsigned n = 0;
+    for (const auto &bank : banks_)
+        n += bank.busyUntil > now ? 1 : 0;
+    return n;
+}
+
 int
 DramChannel::pickRequest(Cycle now) const
 {
@@ -148,6 +157,14 @@ DramChannel::tick(Cycle now, std::vector<MemRequest> &completed)
     // Retire finished data transfers.
     for (std::size_t i = 0; i < inService_.size();) {
         if (inService_[i].doneAt <= now) {
+            const MemRequest &done = inService_[i].req;
+            // Stamped at doneAt, not now: delayed skip-free ticks must
+            // not inflate the recorded service time.
+            MTP_OBS_HOOK(tracer_,
+                         stage(obs::Stage::DramDone, done.addr,
+                               static_cast<std::uint8_t>(done.type),
+                               done.core, channelId_,
+                               inService_[i].doneAt));
             completed.push_back(std::move(inService_[i].req));
             inService_[i] = std::move(inService_.back());
             inService_.pop_back();
@@ -175,6 +192,11 @@ DramChannel::tick(Cycle now, std::vector<MemRequest> &completed)
     MTP_ASSERT(bankPending_[c.bank] > 0, "bank pending-count underflow");
     --bankPending_[c.bank];
     Bank &bank = banks_[c.bank];
+
+    MTP_OBS_HOOK(tracer_,
+                 stage(obs::Stage::DramSchedule, req.addr,
+                       static_cast<std::uint8_t>(req.type), req.core,
+                       channelId_, now));
 
     Cycle act_cost;
     if (bank.openRow == c.row) {

@@ -22,6 +22,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "mem/mem_request.hh"
+#include "obs/trace.hh"
 
 namespace mtp {
 
@@ -86,6 +87,12 @@ class DramChannel
     /** Map a block address to its bank and row within this channel. */
     DramCoord mapAddr(Addr addr) const;
 
+    /** Banks with an in-progress access at @p now (bank-level par.). */
+    unsigned busyBanks(Cycle now) const;
+
+    /** Attach a lifecycle trace recorder (borrowed; may be null). */
+    void setTracer(obs::TraceRecorder *tracer) { tracer_ = tracer; }
+
     /**
      * Earliest cycle >= @p now at which this channel could act: retire
      * an in-service transfer (its doneAt) or schedule a buffered
@@ -125,6 +132,7 @@ class DramChannel
     /** Index of the best schedulable request, or -1. */
     int pickRequest(Cycle now) const;
 
+    unsigned channelId_;
     unsigned channels_;
     unsigned numBanks_;
     unsigned blocksPerRow_;
@@ -156,6 +164,7 @@ class DramChannel
      */
     std::deque<Cycle> serviceDoneAts_;
     Cycle busFreeAt_ = 0;
+    obs::TraceRecorder *tracer_ = nullptr;
     Counters counters_;
 };
 

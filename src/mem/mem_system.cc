@@ -6,6 +6,14 @@
 
 namespace mtp {
 
+// The obs layer identifies request types by raw code so it need not
+// depend on mem headers; keep the documented mapping in sync.
+static_assert(static_cast<std::uint8_t>(ReqType::DemandLoad) == 0 &&
+                  static_cast<std::uint8_t>(ReqType::DemandStore) == 1 &&
+                  static_cast<std::uint8_t>(ReqType::SwPrefetch) == 2 &&
+                  static_cast<std::uint8_t>(ReqType::HwPrefetch) == 3,
+              "obs::reqTypeName() assumes this ReqType enumerator order");
+
 MemSystem::MemSystem(const SimConfig &cfg)
     : cfg_(cfg),
       numCores_(cfg.numCores),
@@ -23,6 +31,14 @@ MemSystem::MemSystem(const SimConfig &cfg)
     unsigned ports = (numCores_ + cfg.icntCoresPerPort - 1) /
                      cfg.icntCoresPerPort;
     portRR_.assign(ports, 0);
+}
+
+void
+MemSystem::setTracer(obs::TraceRecorder *tracer)
+{
+    tracer_ = tracer;
+    for (auto &channel : channels_)
+        channel->setTracer(tracer);
 }
 
 unsigned
@@ -74,8 +90,14 @@ MemSystem::injectFromPort(unsigned port, Cycle now)
         // Credit-based gating: never put more requests in flight than
         // the controller buffer can eventually hold.
         if (channels_[ch]->bufferOccupancy() + inFlightToChannel_[ch] >=
-            cfg_.memBufEntries)
+            cfg_.memBufEntries) {
+            ++injCreditStalls_;
             continue;
+        }
+        MTP_OBS_HOOK(tracer_,
+                     stage(obs::Stage::IcntInject, mrq.head().addr,
+                           static_cast<std::uint8_t>(mrq.head().type),
+                           core, ch, now));
         reqNet_.send(ch, mrq.pop(), now);
         MTP_ASSERT(mrqOccupancy_ > 0, "MRQ occupancy underflow");
         --mrqOccupancy_;
@@ -91,10 +113,20 @@ MemSystem::tick(Cycle now)
     // 1. Deliver request packets into controller buffers.
     for (unsigned ch = 0; ch < channels_.size(); ++ch) {
         while (reqNet_.frontReady(ch, now) && !channels_[ch]->bufferFull()) {
-            if (channels_[ch]->insert(reqNet_.pop(ch))) {
+            MemRequest arrived = reqNet_.pop(ch);
+            Addr addr = arrived.addr;
+            auto type = static_cast<std::uint8_t>(arrived.type);
+            CoreId origin = arrived.core;
+            if (channels_[ch]->insert(std::move(arrived))) {
                 // Inter-core merge: two in-transit requests became one.
+                // The surviving buffered request keeps its own
+                // DramEnqueue timestamp; no new lifecycle stage.
                 MTP_ASSERT(inTransit_ > 0, "in-transit underflow on merge");
                 --inTransit_;
+            } else {
+                MTP_OBS_HOOK(tracer_,
+                             stage(obs::Stage::DramEnqueue, addr, type,
+                                   origin, ch, now));
             }
             MTP_ASSERT(inFlightToChannel_[ch] > 0, "in-flight underflow");
             --inFlightToChannel_[ch];
@@ -134,6 +166,14 @@ MemSystem::tick(Cycle now)
             MTP_ASSERT(inTransit_ > 0, "in-transit underflow on response");
             --inTransit_;
             ++completionsPending_;
+#if MTP_OBS_ENABLED
+            if (tracer_) {
+                const MemRequest &resp = completions_[core].back();
+                tracer_->stage(obs::Stage::Return, resp.addr,
+                               static_cast<std::uint8_t>(resp.type),
+                               core, channelOf(resp.addr), now);
+            }
+#endif
         }
     }
 }
@@ -229,6 +269,9 @@ MemSystem::exportStats(StatSet &set, const std::string &prefix) const
     respNet_.exportStats(set, prefix + ".respNet");
     set.add(prefix + ".dramBytes", static_cast<double>(dramBytes()),
             "total DRAM data-bus bytes");
+    set.add(prefix + ".injCreditStalls",
+            static_cast<double>(injCreditStalls_),
+            "injection attempts skipped by channel credit gating");
 }
 
 } // namespace mtp

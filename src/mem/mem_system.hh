@@ -21,6 +21,7 @@
 #include "mem/dram.hh"
 #include "mem/icnt.hh"
 #include "mem/mrq.hh"
+#include "obs/trace.hh"
 
 namespace mtp {
 
@@ -91,6 +92,21 @@ class MemSystem
     /** Total bytes moved over all DRAM data buses. */
     std::uint64_t dramBytes() const;
 
+    /**
+     * Injection attempts skipped by credit gating: cycles in which a
+     * port inspected a non-empty MRQ whose head could not inject
+     * because its target channel had no credits. Skip-safe: a non-empty
+     * MRQ already pins nextEventAt() to the current cycle, so skipped
+     * cycles never hide an attempt.
+     */
+    std::uint64_t injCreditStalls() const { return injCreditStalls_; }
+
+    /**
+     * Attach a lifecycle trace recorder (borrowed; may be null). Also
+     * forwarded to every DRAM channel.
+     */
+    void setTracer(obs::TraceRecorder *tracer);
+
     /** Export the whole memory hierarchy's stats under @p prefix. */
     void exportStats(StatSet &set, const std::string &prefix) const;
 
@@ -118,6 +134,8 @@ class MemSystem
     std::uint64_t inTransit_ = 0;
     std::uint64_t mrqOccupancy_ = 0;       //!< of which still in an MRQ
     std::uint64_t completionsPending_ = 0; //!< awaiting core drain
+    std::uint64_t injCreditStalls_ = 0;    //!< credit-gated inject skips
+    obs::TraceRecorder *tracer_ = nullptr;
 };
 
 } // namespace mtp

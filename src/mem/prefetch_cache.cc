@@ -8,7 +8,7 @@ PrefetchCache::PrefetchCache(unsigned capacityBytes, unsigned assoc)
 }
 
 bool
-PrefetchCache::demandAccess(Addr addr)
+PrefetchCache::demandAccess(Addr addr, bool *firstUse)
 {
     SetAssocCache::Line *line = cache_.lookup(addr, /*touch=*/true);
     if (!line) {
@@ -19,13 +19,17 @@ PrefetchCache::demandAccess(Addr addr)
     if (!(line->flags & flagUsed)) {
         line->flags |= flagUsed;
         ++counters_.useful;
+        if (firstUse)
+            *firstUse = true;
     }
     return true;
 }
 
 void
-PrefetchCache::fill(Addr addr)
+PrefetchCache::fill(Addr addr, Addr *earlyEvicted)
 {
+    if (earlyEvicted)
+        *earlyEvicted = invalidAddr;
     ++counters_.fills;
     if (cache_.contains(addr)) {
         // Re-fill of a resident block: refresh recency, keep used bit.
@@ -34,8 +38,11 @@ PrefetchCache::fill(Addr addr)
         return;
     }
     auto evicted = cache_.insert(addr, 0);
-    if (evicted && !(evicted->flags & flagUsed))
+    if (evicted && !(evicted->flags & flagUsed)) {
         ++counters_.earlyEvictions;
+        if (earlyEvicted)
+            *earlyEvicted = evicted->addr;
+    }
 }
 
 void

@@ -40,9 +40,11 @@ class PrefetchCache
     /**
      * Demand access lookup. On a hit the block is touched (MRU) and, if
      * this is the block's first use, it is counted useful.
+     * @param firstUse set to true when the hit is the block's first use
+     *        (for lifecycle tracing); untouched on a miss
      * @return true on hit.
      */
-    bool demandAccess(Addr addr);
+    bool demandAccess(Addr addr, bool *firstUse = nullptr);
 
     /** @return true iff the block is resident (no state change). */
     bool contains(Addr addr) const { return cache_.contains(addr); }
@@ -50,8 +52,10 @@ class PrefetchCache
     /**
      * Fill a returning prefetched block. An evicted not-yet-used
      * prefetched block counts as an early eviction.
+     * @param earlyEvicted set to the evicted unused block's address, or
+     *        invalidAddr when nothing was evicted early (for tracing)
      */
-    void fill(Addr addr);
+    void fill(Addr addr, Addr *earlyEvicted = nullptr);
 
     /** Drop all contents (kernel boundary). */
     void reset();

@@ -30,6 +30,11 @@
 #include "driver/fingerprint.hh"
 #include "driver/parallel_executor.hh"
 #include "driver/run_cache.hh"
+#include "obs/json.hh"
+#include "obs/observer.hh"
+#include "obs/sampler.hh"
+#include "obs/sink.hh"
+#include "obs/trace.hh"
 #include "sim/gpu.hh"
 #include "trace/kernel.hh"
 #include "workloads/workload.hh"

@@ -1,0 +1,108 @@
+#include "obs/observer.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mtp {
+namespace obs {
+
+Observer::Observer(const ObsConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.wantsTracer())
+        tracer_ = std::make_unique<TraceRecorder>(cfg_.wantsLifecycle(),
+                                                  true);
+
+    if (!cfg_.timeSeriesCsv.empty()) {
+        addSink(std::make_unique<CsvTimeSeriesSink>(cfg_.timeSeriesCsv),
+                /*forSampler=*/true, /*forTracer=*/false);
+    }
+    if (!cfg_.jsonlPath.empty()) {
+        addSink(std::make_unique<JsonlSink>(cfg_.jsonlPath),
+                /*forSampler=*/true, /*forTracer=*/true);
+    }
+    if (!cfg_.chromePath.empty()) {
+        addSink(std::make_unique<ChromeTraceSink>(cfg_.chromePath),
+                /*forSampler=*/true, /*forTracer=*/true);
+    }
+    if (cfg_.throttleToStderr) {
+        // The legacy MTP_THROTTLE_TRACE stream: throttle events only,
+        // so it joins the tracer but not the sampler.
+        addSink(std::make_unique<JsonlSink>(stderr),
+                /*forSampler=*/false, /*forTracer=*/true);
+    }
+}
+
+Observer::~Observer()
+{
+    finish();
+}
+
+void
+Observer::addSink(std::unique_ptr<EventSink> sink, bool forSampler,
+                  bool forTracer)
+{
+    EventSink *raw = sink.get();
+    owned_.push_back(std::move(sink));
+    all_.push_back(raw);
+    if (forSampler)
+        sampler_.addSink(raw);
+    if (forTracer && tracer_)
+        tracer_->addSink(raw);
+}
+
+CaptureSink *
+Observer::addCapture()
+{
+    auto sink = std::make_unique<CaptureSink>();
+    CaptureSink *raw = sink.get();
+    addSink(std::move(sink), /*forSampler=*/true, /*forTracer=*/true);
+    return raw;
+}
+
+void
+Observer::declareTrack(int pid, const std::string &name)
+{
+    TraceEvent ev;
+    ev.name = "process_name";
+    ev.ph = 'M';
+    ev.pid = pid;
+    ev.sargs.emplace_back("name", name);
+    for (auto *sink : all_)
+        sink->event(ev);
+}
+
+void
+Observer::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    if (tracer_)
+        tracer_->finish();
+    for (auto *sink : all_)
+        sink->close();
+}
+
+std::string
+perRunPath(const std::string &base, const std::string &runTag)
+{
+    if (base.empty() || runTag.empty())
+        return base;
+    auto slash = base.find_last_of('/');
+    auto dot = base.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return base + "." + runTag;
+    }
+    return base.substr(0, dot) + "." + runTag + base.substr(dot);
+}
+
+bool
+throttleTraceEnvEnabled()
+{
+    const char *env = std::getenv("MTP_THROTTLE_TRACE");
+    return env && *env && std::strcmp(env, "0") != 0;
+}
+
+} // namespace obs
+} // namespace mtp

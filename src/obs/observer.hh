@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The per-run observability façade. An Observer owns the sinks chosen
+ * by an ObsConfig, the periodic Sampler, and (when any event stream is
+ * configured) the lifecycle TraceRecorder. The GPU registers its
+ * probes against the sampler and hands the tracer pointer to the
+ * components that emit lifecycle events; everything tears down
+ * together in finish().
+ *
+ * ObsConfig deliberately lives outside SimConfig: observation never
+ * changes simulated results, so it must not enter the run-cache
+ * fingerprint (two runs differing only in trace outputs share one
+ * cache entry).
+ */
+
+#ifndef MTP_OBS_OBSERVER_HH
+#define MTP_OBS_OBSERVER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/sampler.hh"
+#include "obs/sink.hh"
+#include "obs/trace.hh"
+
+namespace mtp {
+namespace obs {
+
+/** What to observe and where to write it. All off by default. */
+struct ObsConfig
+{
+    /** Sample period in cycles; 0 disables periodic sampling. */
+    Cycle samplePeriod = 0;
+
+    /** CSV time-series output path ("" = off). */
+    std::string timeSeriesCsv;
+
+    /** JSONL event/sample output path ("" = off). */
+    std::string jsonlPath;
+
+    /** Chrome trace-event JSON output path ("" = off). */
+    std::string chromePath;
+
+    /** Force the lifecycle stream on even with no file sink (tests). */
+    bool traceLifecycle = false;
+
+    /** Force the throttle stream on even with no file sink (tests). */
+    bool traceThrottle = false;
+
+    /**
+     * MTP_THROTTLE_TRACE alias: mirror throttle period updates to
+     * stderr as JSONL (the legacy stderr hook's replacement).
+     */
+    bool throttleToStderr = false;
+
+    bool wantsSampling() const { return samplePeriod > 0; }
+
+    /** True when any event stream needs a TraceRecorder. */
+    bool
+    wantsTracer() const
+    {
+        return !jsonlPath.empty() || !chromePath.empty() ||
+               traceLifecycle || traceThrottle || throttleToStderr;
+    }
+
+    /** True when a request-lifecycle stream is wanted. */
+    bool
+    wantsLifecycle() const
+    {
+        return !jsonlPath.empty() || !chromePath.empty() ||
+               traceLifecycle;
+    }
+
+    /** Anything at all to do? The GPU skips all hooks when false. */
+    bool
+    enabled() const
+    {
+        return wantsSampling() || wantsTracer() ||
+               !timeSeriesCsv.empty();
+    }
+};
+
+/** Owns sinks + sampler + tracer for one simulation run. */
+class Observer
+{
+  public:
+    explicit Observer(const ObsConfig &cfg);
+    ~Observer();
+
+    Observer(const Observer &) = delete;
+    Observer &operator=(const Observer &) = delete;
+
+    const ObsConfig &config() const { return cfg_; }
+
+    Sampler &sampler() { return sampler_; }
+    const Sampler &sampler() const { return sampler_; }
+
+    /** Null unless an event stream is configured. */
+    TraceRecorder *tracer() { return tracer_.get(); }
+
+    /**
+     * Attach an in-memory capture sink (owned by the observer) that
+     * receives samples and trace events; call before the run starts.
+     */
+    CaptureSink *addCapture();
+
+    /** Name a Perfetto track via a process_name metadata event. */
+    void declareTrack(int pid, const std::string &name);
+
+    /** Flush histograms and close every sink; idempotent. */
+    void finish();
+
+  private:
+    void addSink(std::unique_ptr<EventSink> sink, bool forSampler,
+                 bool forTracer);
+
+    ObsConfig cfg_;
+    std::vector<std::unique_ptr<EventSink>> owned_;
+    std::vector<EventSink *> all_;
+    Sampler sampler_;
+    std::unique_ptr<TraceRecorder> tracer_;
+    bool finished_ = false;
+};
+
+/**
+ * Derive a per-run output path from @p base by inserting ".<runTag>"
+ * before the extension ("out/trace.json" + "mp" -> "out/trace.mp.json";
+ * no extension appends ".<runTag>").
+ */
+std::string perRunPath(const std::string &base, const std::string &runTag);
+
+/** The MTP_THROTTLE_TRACE env alias: set, non-empty, and not "0". */
+bool throttleTraceEnvEnabled();
+
+} // namespace obs
+} // namespace mtp
+
+#endif // MTP_OBS_OBSERVER_HH

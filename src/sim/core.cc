@@ -37,6 +37,14 @@ Core::Core(const SimConfig &cfg, CoreId id, const KernelDesc *kernel,
 }
 
 void
+Core::setTracer(obs::TraceRecorder *tracer)
+{
+    tracer_ = tracer;
+    if (throttle_)
+        throttle_->setTrace(tracer, id_);
+}
+
+void
 Core::refreshWarp(std::uint32_t idx)
 {
     const Warp &warp = warps_[idx];
@@ -121,7 +129,13 @@ Core::drainCompletions(Cycle now)
     for (const auto &req : list) {
         Mshr::Entry entry = mshr_.retire(req.addr);
         if (entry.prefetch) {
-            prefCache_.fill(req.addr);
+            Addr earlyEvicted = invalidAddr;
+            prefCache_.fill(req.addr, &earlyEvicted);
+            MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::Fill, req.addr,
+                                       id_, now));
+            if (earlyEvicted != invalidAddr)
+                MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::EarlyEvict,
+                                           earlyEvicted, id_, now));
             ++counters_.prefCount;
             counters_.prefLatencySum += now - entry.created;
         }
@@ -150,9 +164,13 @@ Core::processLsu(Cycle now)
         Addr addr = lsu_.txns[lsu_.next].addr;
         std::uint16_t bytes = lsu_.txns[lsu_.next].bytes;
         if (lsu_.type == ReqType::DemandLoad) {
-            if (prefCache_.demandAccess(addr)) {
+            bool firstUse = false;
+            if (prefCache_.demandAccess(addr, &firstUse)) {
                 // Prefetch-cache hits cost the same as computational
                 // instructions (Sec. IV-A): no memory request at all.
+                if (firstUse)
+                    MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::Useful,
+                                               addr, id_, now));
                 ++counters_.prefCacheHitTxns;
                 Warp &warp = warps_[lsu_.warpIdx];
                 auto s = static_cast<unsigned>(lsu_.slot);
@@ -170,12 +188,16 @@ Core::processLsu(Cycle now)
                 return; // retry next cycle
             }
             ++counters_.demandTxns;
+            bool intoPref = inflight && inflight->prefetch;
             Mshr::Waiter waiter{lsu_.warpIdx, lsu_.slot, now};
             bool merged = mshr_.demandAccess(addr, waiter, now);
             if (merged) {
                 // Joined an in-flight block (a late prefetch if that
                 // block was prefetched): make sure the queued request
                 // has demand priority, and move on without a new fetch.
+                if (intoPref)
+                    MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::LateMerge,
+                                               addr, id_, now));
                 mem_->upgradeToDemand(id_, addr);
                 ++lsu_.next;
                 continue;
@@ -183,6 +205,8 @@ Core::processLsu(Cycle now)
             bool ok = mem_->issue(id_, addr, ReqType::DemandLoad, now,
                                   bytes);
             MTP_ASSERT(ok, "MRQ rejected a gated demand push");
+            MTP_OBS_HOOK(tracer_, stage(obs::Stage::MrqEnqueue, addr, 0,
+                                        id_, 0, now));
             ++lsu_.next;
             break; // one MRQ push per cycle
         }
@@ -190,6 +214,8 @@ Core::processLsu(Cycle now)
             if (!mem_->issue(id_, addr, ReqType::DemandStore, now, bytes))
                 return;
             ++counters_.demandTxns;
+            MTP_OBS_HOOK(tracer_, stage(obs::Stage::MrqEnqueue, addr, 1,
+                                        id_, 0, now));
             ++lsu_.next;
             break;
         }
@@ -197,16 +223,24 @@ Core::processLsu(Cycle now)
         bool drop = false;
         if (throttle_ && throttle_->shouldDrop()) {
             ++counters_.swPrefDroppedThrottle;
+            MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::DroppedThrottle,
+                                       addr, id_, now));
             drop = true;
         } else if (prefCache_.contains(addr)) {
             ++counters_.swPrefDroppedResident;
+            MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::DroppedResident,
+                                       addr, id_, now));
             drop = true;
         } else if (mshr_.prefetchFull() || mem_->mrq(id_).full()) {
             // Never stall the pipeline for a prefetch.
             ++counters_.swPrefDroppedResident;
+            MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::DroppedFull, addr,
+                                       id_, now));
             drop = true;
         } else if (mshr_.prefetchAccess(addr, now)) {
             ++counters_.swPrefDroppedResident;
+            MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::DroppedResident,
+                                       addr, id_, now));
             drop = true;
         }
         if (drop) {
@@ -216,6 +250,10 @@ Core::processLsu(Cycle now)
         bool ok = mem_->issue(id_, addr, ReqType::SwPrefetch, now, bytes);
         MTP_ASSERT(ok, "MRQ rejected a gated prefetch push");
         ++counters_.swPrefTxnsIssued;
+        MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::Issued, addr, id_,
+                                   now));
+        MTP_OBS_HOOK(tracer_, stage(obs::Stage::MrqEnqueue, addr, 2, id_,
+                                    0, now));
         ++lsu_.next;
         break;
     }
@@ -229,7 +267,6 @@ Core::processLsu(Cycle now)
 void
 Core::startMemInst(const StaticInst &inst, std::uint32_t warpIdx, Cycle now)
 {
-    (void)now;
     Warp &warp = warps_[warpIdx];
     coalesceWarpAccess(inst.pattern, warp.lane0Tid, warp.cursor.iter(),
                        lsu_.txns);
@@ -251,6 +288,10 @@ Core::startMemInst(const StaticInst &inst, std::uint32_t warpIdx, Cycle now)
         lsu_.type = ReqType::SwPrefetch;
         break;
     }
+    MTP_OBS_HOOK(tracer_,
+                 coalesce(id_, lsu_.leadAddr,
+                          static_cast<std::uint8_t>(lsu_.type),
+                          lsu_.txns.size(), now));
     if (inst.op == Opcode::Load) {
         auto s = static_cast<unsigned>(inst.destSlot);
         MTP_ASSERT(inst.destSlot >= 0, "load without a destination slot");
@@ -286,27 +327,42 @@ Core::issuePrefetch(Addr blockAddr, ReqType type, Cycle now,
 {
     if (throttle_ && throttle_->shouldDrop()) {
         ++counters_.hwPrefDroppedThrottle;
+        MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::DroppedThrottle,
+                                   blockAddr, id_, now));
         return;
     }
     if (lateThrottle_ && lateThrottle_->shouldDrop()) {
         ++counters_.hwPrefDroppedThrottle;
+        MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::DroppedThrottle,
+                                   blockAddr, id_, now));
         return;
     }
     if (prefCache_.contains(blockAddr)) {
         ++counters_.hwPrefDroppedResident;
+        MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::DroppedResident,
+                                   blockAddr, id_, now));
         return;
     }
     if (mshr_.prefetchFull() || mem_->mrq(id_).full()) {
         ++counters_.hwPrefDroppedMrqFull;
+        MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::DroppedFull, blockAddr,
+                                   id_, now));
         return;
     }
     if (mshr_.prefetchAccess(blockAddr, now)) {
         ++counters_.hwPrefDroppedResident;
+        MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::DroppedResident,
+                                   blockAddr, id_, now));
         return;
     }
     bool ok = mem_->issue(id_, blockAddr, type, now, bytes);
     MTP_ASSERT(ok, "MRQ rejected a gated hardware prefetch");
     ++counters_.hwPrefIssued;
+    MTP_OBS_HOOK(tracer_, pref(obs::PrefEvent::Issued, blockAddr, id_,
+                               now));
+    MTP_OBS_HOOK(tracer_, stage(obs::Stage::MrqEnqueue, blockAddr,
+                                static_cast<std::uint8_t>(type), id_, 0,
+                                now));
 }
 
 void
@@ -478,7 +534,7 @@ Core::periodUpdate(Cycle now)
         snap.merges = mshr.merges;
         snap.totalRequests = mshr.totalRequests;
         snap.prefCacheHits = pc.demandHits;
-        throttle_->updatePeriod(snap);
+        throttle_->updatePeriod(snap, now);
     }
 
     if (prefetcher_ || lateThrottle_) {

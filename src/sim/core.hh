@@ -25,6 +25,7 @@
 #include "mem/mem_system.hh"
 #include "mem/mshr.hh"
 #include "mem/prefetch_cache.hh"
+#include "obs/trace.hh"
 #include "sim/warp.hh"
 
 namespace mtp {
@@ -106,6 +107,12 @@ class Core
 
     /** Export core + prefetch machinery stats under "<prefix>.". */
     void exportStats(StatSet &set, const std::string &prefix) const;
+
+    /**
+     * Attach a lifecycle trace recorder (borrowed; may be null). Also
+     * forwarded to the throttle engine for its period-update stream.
+     */
+    void setTracer(obs::TraceRecorder *tracer);
 
   private:
     /** Occupancy in cycles of one warp instruction. */
@@ -201,6 +208,7 @@ class Core
     /** Demand-load round-trip distribution (64 buckets to 4K cycles). */
     Histogram demandLatencyHist_{0.0, 4096.0, 64};
 
+    obs::TraceRecorder *tracer_ = nullptr;
     Counters counters_;
 };
 

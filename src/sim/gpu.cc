@@ -6,7 +6,8 @@
 
 namespace mtp {
 
-Gpu::Gpu(const SimConfig &cfg, const KernelDesc &kernel)
+Gpu::Gpu(const SimConfig &cfg, const KernelDesc &kernel,
+         obs::Observer *obs)
     : cfg_(cfg), kernel_(kernel)
 {
     cfg_.validate();
@@ -42,6 +43,120 @@ Gpu::Gpu(const SimConfig &cfg, const KernelDesc &kernel)
         nextBlockOfCore_[0] = 0;
         endBlockOfCore_[0] = blocks;
     }
+
+#if MTP_OBS_ENABLED
+    if (!obs && cfg_.throttleEnable && obs::throttleTraceEnvEnabled()) {
+        // Legacy MTP_THROTTLE_TRACE alias: throttle period updates to
+        // stderr, now as JSONL through the sink API.
+        obs::ObsConfig alias;
+        alias.throttleToStderr = true;
+        ownedObs_ = std::make_unique<obs::Observer>(alias);
+        obs = ownedObs_.get();
+    }
+    if (obs && obs->config().enabled())
+        attachObserver(obs);
+#else
+    (void)obs;
+#endif
+}
+
+void
+Gpu::attachObserver(obs::Observer *obs)
+{
+    obs_ = obs;
+    obs::TraceRecorder *tracer = obs->tracer();
+    if (tracer) {
+        mem_->setTracer(tracer);
+        for (auto &core : cores_)
+            core->setTracer(tracer);
+    }
+
+    for (CoreId c = 0; c < cores_.size(); ++c)
+        obs->declareTrack(obs::trackForCore(c),
+                          "core" + std::to_string(c));
+    for (unsigned ch = 0; ch < mem_->numChannels(); ++ch)
+        obs->declareTrack(obs::trackForChannel(ch),
+                          "dram" + std::to_string(ch));
+    obs->declareTrack(obs::trackGlobal, "memSystem");
+
+    if (!obs->config().wantsSampling())
+        return;
+
+    // Probes close over live component state; every reader is
+    // side-effect free, so sampling cannot change simulated results.
+    using Kind = obs::Sampler::Kind;
+    obs::Sampler &s = obs->sampler();
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        std::string p = "core" + std::to_string(c) + ".";
+        int pid = obs::trackForCore(c);
+        const Core *core = cores_[c].get();
+        s.addProbe(p + "ipc", pid, Kind::Rate, [core](Cycle) {
+            return static_cast<double>(core->counters().warpInstsIssued);
+        });
+        const MemSystem *mem = mem_.get();
+        s.addProbe(p + "mrqOcc", pid, Kind::Gauge, [mem, c](Cycle) {
+            return static_cast<double>(mem->mrq(c).size());
+        });
+        s.addProbe(p + "mshrOcc", pid, Kind::Gauge, [core](Cycle) {
+            return static_cast<double>(core->mshr().size());
+        });
+        auto fills = [core](Cycle) {
+            return static_cast<double>(core->prefCache().counters().fills);
+        };
+        s.addProbe(
+            p + "prefAccuracy", pid, Kind::Ratio,
+            [core](Cycle) {
+                return static_cast<double>(
+                    core->prefCache().counters().useful);
+            },
+            fills);
+        s.addProbe(
+            p + "prefLateness", pid, Kind::Ratio,
+            [core](Cycle) {
+                return static_cast<double>(
+                    core->mshr().counters().demandIntoPref);
+            },
+            fills);
+        s.addProbe(
+            p + "prefPollution", pid, Kind::Ratio,
+            [core](Cycle) {
+                return static_cast<double>(
+                    core->prefCache().counters().earlyEvictions);
+            },
+            fills);
+        if (core->throttle()) {
+            s.addProbe(p + "throttleDegree", pid, Kind::Gauge,
+                       [core](Cycle) {
+                           return static_cast<double>(
+                               core->throttle()->degree());
+                       });
+        }
+    }
+    for (unsigned ch = 0; ch < mem_->numChannels(); ++ch) {
+        std::string p = "dram" + std::to_string(ch) + ".";
+        int pid = obs::trackForChannel(ch);
+        const DramChannel *channel = &mem_->channel(ch);
+        s.addProbe(
+            p + "rowHitRate", pid, Kind::Ratio,
+            [channel](Cycle) {
+                return static_cast<double>(channel->counters().rowHits);
+            },
+            [channel](Cycle) {
+                return static_cast<double>(channel->counters().reads +
+                                           channel->counters().writes);
+            });
+        s.addProbe(p + "blp", pid, Kind::Gauge, [channel](Cycle now) {
+            return static_cast<double>(channel->busyBanks(now));
+        });
+        s.addProbe(p + "bufOcc", pid, Kind::Gauge, [channel](Cycle) {
+            return static_cast<double>(channel->bufferOccupancy());
+        });
+    }
+    s.addProbe("mem.injCreditStalls", obs::trackGlobal, Kind::Rate,
+               [mem = mem_.get()](Cycle) {
+                   return static_cast<double>(mem->injCreditStalls());
+               });
+    s.start(obs->config().samplePeriod);
 }
 
 void
@@ -103,6 +218,13 @@ Gpu::step()
             }
         }
     }
+#if MTP_OBS_ENABLED
+    // Sample after every component ticked this cycle: the row reflects
+    // end-of-cycle state. Reading counters has no side effects, so the
+    // step stays bit-identical with sampling on or off.
+    if (obs_ && obs_->sampler().due(now_))
+        obs_->sampler().sample(now_);
+#endif
     ++now_;
 }
 
@@ -159,6 +281,16 @@ Gpu::nextEventAt() const
         if (c < e)
             e = c;
     }
+#if MTP_OBS_ENABLED
+    // Sampling is an observable event: a skip must stop at the next
+    // sample boundary so the sampler runs at exactly the same cycles as
+    // in the naive loop (invalidCycle when inactive — no effect).
+    if (obs_) {
+        Cycle sample = obs_->sampler().nextSampleAt();
+        if (sample < e)
+            e = sample;
+    }
+#endif
     return e;
 }
 
@@ -166,6 +298,11 @@ void
 Gpu::skipTo(Cycle target)
 {
     MTP_ASSERT(target > now_, "skipTo() not moving forward");
+#if MTP_SLOW_CHECKS && MTP_OBS_ENABLED
+    if (obs_)
+        MTP_ASSERT(target <= obs_->sampler().nextSampleAt(),
+                   "cycle skip would jump a sample boundary");
+#endif
     // Account for the active-warp samples the skipped per-cycle loop
     // would have taken at each (cycle & 127) == 0 in [now_, target):
     // no component acts in the window, so every sample sees the
@@ -224,7 +361,12 @@ Gpu::run()
             }
         }
     }
-    return summarize();
+    RunResult result = summarize();
+#if MTP_OBS_ENABLED
+    if (obs_)
+        obs_->finish();
+#endif
+    return result;
 }
 
 RunResult
@@ -284,6 +426,22 @@ simulate(const SimConfig &cfg, const KernelDesc &kernel)
 {
     Gpu gpu(cfg, kernel);
     return gpu.run();
+}
+
+RunResult
+simulate(const SimConfig &cfg, const KernelDesc &kernel,
+         const obs::ObsConfig &ocfg)
+{
+#if MTP_OBS_ENABLED
+    if (ocfg.enabled()) {
+        obs::Observer observer(ocfg);
+        Gpu gpu(cfg, kernel, &observer);
+        return gpu.run();
+    }
+#else
+    (void)ocfg;
+#endif
+    return simulate(cfg, kernel);
 }
 
 } // namespace mtp

@@ -14,6 +14,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "mem/mem_system.hh"
+#include "obs/observer.hh"
 #include "sim/core.hh"
 #include "trace/kernel.hh"
 
@@ -79,8 +80,15 @@ class Gpu
     /**
      * @param cfg simulator configuration (copied)
      * @param kernel finalized kernel to execute (copied)
+     * @param obs optional observer (borrowed; must outlive the Gpu).
+     *        Observation is read-only: results are bit-identical with
+     *        or without it, so ObsConfig never enters SimConfig or the
+     *        run-cache fingerprint. When null and the legacy
+     *        MTP_THROTTLE_TRACE alias is set (with throttling enabled),
+     *        an internal stderr-bound observer is created.
      */
-    Gpu(const SimConfig &cfg, const KernelDesc &kernel);
+    Gpu(const SimConfig &cfg, const KernelDesc &kernel,
+        obs::Observer *obs = nullptr);
 
     // Cores hold references into this object; it must stay put.
     Gpu(const Gpu &) = delete;
@@ -126,6 +134,9 @@ class Gpu
     /** Hand out grid blocks to cores with free occupancy slots. */
     void dispatchBlocks();
 
+    /** Register probes/tracks and wire the tracer into components. */
+    void attachObserver(obs::Observer *obs);
+
     /**
      * Jump the clock to @p target (> now()), accounting for everything
      * the skipped per-cycle loop would have done: the (now & 127)
@@ -149,10 +160,19 @@ class Gpu
     unsigned busyCores_ = 0;          //!< cores with !idle()
     std::uint64_t activeWarpSamples_ = 0;
     std::uint64_t activeWarpSum_ = 0;
+    obs::Observer *obs_ = nullptr;
+    std::unique_ptr<obs::Observer> ownedObs_; //!< env-alias fallback
 };
 
 /** Convenience: construct, run, summarize. */
 RunResult simulate(const SimConfig &cfg, const KernelDesc &kernel);
+
+/**
+ * Construct, observe, run, summarize. Identical results to the 2-arg
+ * overload (observation is read-only); @p ocfg only adds outputs.
+ */
+RunResult simulate(const SimConfig &cfg, const KernelDesc &kernel,
+                   const obs::ObsConfig &ocfg);
 
 } // namespace mtp
 

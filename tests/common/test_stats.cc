@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "common/stats.hh"
@@ -43,6 +44,29 @@ TEST(StatSet, Merge)
     EXPECT_EQ(a.size(), 2u);
 }
 
+TEST(StatSet, MergePrefixCollisionOverwrites)
+{
+    StatSet a;
+    a.add("sub.y", 1.0, "original");
+    StatSet b;
+    b.add("y", 2.0, "merged");
+    a.merge(b, "sub.");
+    // A merge landing on an existing name overwrites in place: same
+    // value semantics as add(), position preserved, no duplicate row.
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_DOUBLE_EQ(a.get("sub.y"), 2.0);
+    EXPECT_EQ(a.entries()[0].desc, "merged");
+
+    // Merging under an empty prefix collides with the bare name too.
+    StatSet c;
+    c.add("y", 7.0);
+    a.merge(c, "sub.");
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_DOUBLE_EQ(a.get("sub.y"), 7.0);
+    // An empty merged desc keeps the existing one.
+    EXPECT_EQ(a.entries()[0].desc, "merged");
+}
+
 TEST(StatSet, DumpFormats)
 {
     StatSet s;
@@ -54,6 +78,45 @@ TEST(StatSet, DumpFormats)
     std::ostringstream csv;
     s.dumpCsv(csv);
     EXPECT_NE(csv.str().find("name,1.5"), std::string::npos);
+}
+
+TEST(StatSet, DumpCsvEscapesSpecialCharacters)
+{
+    StatSet s;
+    s.add("plain", 1.0, "no escaping needed");
+    s.add("commas", 2.0, "a, b, and c");
+    s.add("quotes", 3.0, "the \"fast\" loop");
+    s.add("newline", 4.0, "line one\nline two");
+    std::ostringstream os;
+    s.dumpCsv(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name,value,description\n"), std::string::npos);
+    EXPECT_NE(out.find("plain,1,no escaping needed\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("commas,2,\"a, b, and c\"\n"), std::string::npos);
+    EXPECT_NE(out.find("quotes,3,\"the \"\"fast\"\" loop\"\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("newline,4,\"line one\nline two\"\n"),
+              std::string::npos);
+}
+
+TEST(StatSet, DumpJson)
+{
+    StatSet s;
+    s.add("core0.ipc", 0.5, "instructions per cycle");
+    s.add("weird\"name", 1.0, "desc with \\ and \"quotes\"");
+    std::ostringstream os;
+    s.dumpJson(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"core0.ipc\": {\"value\": 0.5, "
+                       "\"desc\": \"instructions per cycle\"}"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"weird\\\"name\""), std::string::npos);
+    EXPECT_NE(out.find("\"desc with \\\\ and \\\"quotes\\\"\""),
+              std::string::npos);
+    // Balanced object syntax, one entry per line.
+    EXPECT_EQ(out.front(), '{');
+    EXPECT_EQ(out[out.size() - 2], '}');
 }
 
 TEST(Histogram, BucketsAndSummary)
@@ -71,6 +134,50 @@ TEST(Histogram, BucketsAndSummary)
     EXPECT_DOUBLE_EQ(h.minValue(), -1.0);
     EXPECT_DOUBLE_EQ(h.maxValue(), 100.0);
     EXPECT_NEAR(h.mean(), (0.5 + 5.5 * 2 - 1.0 + 100.0) / 5.0, 1e-9);
+}
+
+TEST(Histogram, BucketEdgeSemantics)
+{
+    // [0, 10) in 5 buckets of width 2: [0,2) [2,4) [4,6) [6,8) [8,10).
+    Histogram h(0.0, 10.0, 5);
+
+    h.sample(0.0); // exactly lo: first bucket, not underflow
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+
+    h.sample(2.0); // exactly on an interior boundary: upper bucket
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+
+    h.sample(8.0); // last interior boundary
+    EXPECT_EQ(h.bucketCount(3), 0u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+
+    h.sample(10.0); // exactly hi: overflow, not the last bucket
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+
+    double below = std::nextafter(0.0, -1.0);
+    h.sample(below); // just below lo: underflow
+    EXPECT_EQ(h.underflow(), 1u);
+
+    double justUnderHi = std::nextafter(10.0, 0.0);
+    h.sample(justUnderHi); // just below hi: last bucket
+    EXPECT_EQ(h.bucketCount(4), 2u);
+    EXPECT_EQ(h.overflow(), 1u);
+
+    EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(Histogram, ZeroCountSampleIsIgnored)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(5.0, 0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.minValue(), 0.0);
+    h.sample(5.0, 3);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.bucketCount(2), 3u);
 }
 
 TEST(Histogram, ResetAndExport)

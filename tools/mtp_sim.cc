@@ -43,9 +43,17 @@ usage(const char *argv0)
         "                         every N\n"
         "  --stats <file>         dump full statistics to <file>\n"
         "  --csv                  CSV statistics instead of text\n"
+        "  --json                 JSON statistics instead of text\n"
+        "  --sample-period <N>    sample time-series probes every N cycles\n"
+        "  --timeseries <file>    write sampled time series as CSV\n"
+        "  --events <file>        write lifecycle/throttle events as JSONL\n"
+        "  --trace-out <file>     write a Chrome trace-event JSON file\n"
+        "                         (open in Perfetto / chrome://tracing)\n"
         "  --dump-kernel <file>   write the (transformed) kernel and exit\n"
         "  --quiet                suppress the summary (stats only)\n"
-        "  key=value              override any SimConfig field\n",
+        "  key=value              override any SimConfig field\n"
+        "With several benchmarks, observability paths get a per-kernel\n"
+        "tag inserted before the extension (out.json -> out.mp.json).\n",
         argv0);
 }
 
@@ -63,10 +71,12 @@ main(int argc, char **argv)
     SwPrefKind sw = SwPrefKind::None;
     bool throttle = false;
     bool csv = false;
+    bool json = false;
     bool quiet = false;
     unsigned scale = 8;
     unsigned jobs = 0; // 0 = all cores
     SimConfig cfg;
+    obs::ObsConfig ocfg;
     cfg.throttlePeriod = 5000; // scaled default; overridable below
 
     for (int i = 1; i < argc; ++i) {
@@ -112,6 +122,17 @@ main(int argc, char **argv)
             stats_file = next("--stats");
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--sample-period") {
+            ocfg.samplePeriod = static_cast<Cycle>(
+                std::stoull(next("--sample-period")));
+        } else if (arg == "--timeseries") {
+            ocfg.timeSeriesCsv = next("--timeseries");
+        } else if (arg == "--events") {
+            ocfg.jsonlPath = next("--events");
+        } else if (arg == "--trace-out") {
+            ocfg.chromePath = next("--trace-out");
         } else if (arg == "--dump-kernel") {
             dump_kernel = next("--dump-kernel");
         } else if (arg == "--quiet") {
@@ -172,12 +193,37 @@ main(int argc, char **argv)
     if (!stats_file.empty() && kernels.size() != 1)
         MTP_FATAL("--stats needs exactly one benchmark");
 
+    if (ocfg.wantsSampling() && ocfg.timeSeriesCsv.empty() &&
+        ocfg.jsonlPath.empty() && ocfg.chromePath.empty()) {
+        std::fprintf(stderr,
+                     "--sample-period without --timeseries/--events/"
+                     "--trace-out produces no output\n");
+        return 1;
+    }
+
+    // With several kernels each run needs its own output files: derive
+    // per-kernel paths by tagging the requested ones with the kernel
+    // name ("out.json" -> "out.mp.json").
+    auto obsFor = [&](const KernelDesc &kernel) {
+        obs::ObsConfig o = ocfg;
+        if (kernels.size() > 1) {
+            if (!o.timeSeriesCsv.empty())
+                o.timeSeriesCsv = obs::perRunPath(o.timeSeriesCsv,
+                                                  kernel.name);
+            if (!o.jsonlPath.empty())
+                o.jsonlPath = obs::perRunPath(o.jsonlPath, kernel.name);
+            if (!o.chromePath.empty())
+                o.chromePath = obs::perRunPath(o.chromePath, kernel.name);
+        }
+        return o;
+    };
+
     // Submit the whole matrix up front, then print in submission
     // order; with any --jobs value the output is byte-identical.
     driver::ParallelExecutor exec(jobs);
     driver::RunCache cache(exec);
     for (const KernelDesc &kernel : kernels)
-        cache.submit(cfg, kernel);
+        cache.submit(cfg, kernel, obsFor(kernel));
 
     bool first = true;
     for (const KernelDesc &kernel : kernels) {
@@ -218,11 +264,23 @@ main(int argc, char **argv)
                 MTP_FATAL("cannot write '", stats_file, "'");
             if (csv)
                 r.stats.dumpCsv(out);
+            else if (json)
+                r.stats.dumpJson(out);
             else
                 r.stats.dumpText(out);
             if (!quiet)
                 std::printf("stats       %s (%zu entries)\n",
                             stats_file.c_str(), r.stats.size());
+        }
+
+        if (!quiet) {
+            obs::ObsConfig o = obsFor(kernel);
+            if (!o.timeSeriesCsv.empty())
+                std::printf("timeseries  %s\n", o.timeSeriesCsv.c_str());
+            if (!o.jsonlPath.empty())
+                std::printf("events      %s\n", o.jsonlPath.c_str());
+            if (!o.chromePath.empty())
+                std::printf("trace       %s\n", o.chromePath.c_str());
         }
     }
     return 0;
