@@ -1,6 +1,9 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <array>
+#include <charconv>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 
@@ -137,6 +140,24 @@ writeJsonString(std::ostream &os, const std::string &s)
     os << '"';
 }
 
+/**
+ * Shortest round-trippable decimal form of @p v, independent of any
+ * imbued stream locale (std::to_chars never localizes). Non-finite
+ * values have no JSON representation and become null.
+ */
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    std::array<char, 64> buf;
+    auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+    MTP_ASSERT(res.ec == std::errc{}, "double-to_chars overflow");
+    os.write(buf.data(), res.ptr - buf.data());
+}
+
 } // namespace
 
 void
@@ -162,8 +183,9 @@ StatSet::dumpJson(std::ostream &os) const
         first = false;
         os << "  ";
         writeJsonString(os, e.name);
-        os << ": {\"value\": " << std::setprecision(17) << e.value
-           << ", \"desc\": ";
+        os << ": {\"value\": ";
+        writeJsonNumber(os, e.value);
+        os << ", \"desc\": ";
         writeJsonString(os, e.desc);
         os << '}';
     }

@@ -62,6 +62,9 @@ Mrq::exportStats(StatSet &set, const std::string &prefix) const
     set.add(prefix + ".fullStalls",
             static_cast<double>(counters_.fullStalls),
             "pushes rejected because the queue was full");
+    set.add(prefix + ".gatedStalls",
+            static_cast<double>(counters_.gatedStalls),
+            "cycles an upstream unit stalled on the full queue");
 }
 
 } // namespace mtp

@@ -27,6 +27,7 @@ class Mrq
     {
         std::uint64_t pushes = 0;     //!< requests enqueued
         std::uint64_t fullStalls = 0; //!< rejected pushes
+        std::uint64_t gatedStalls = 0; //!< upstream cycles held on full
     };
 
     explicit Mrq(unsigned capacity) : capacity_(capacity) {}
@@ -55,6 +56,14 @@ class Mrq
      * @return true if a request was upgraded.
      */
     bool upgradeToDemand(Addr addr);
+
+    /**
+     * Count a cycle in which an upstream unit (the LSU) held a request
+     * back because the queue was full — the gated counterpart of a
+     * rejected push, and the per-cycle injection-backpressure signal
+     * cycle accounting attributes to StallIcnt.
+     */
+    void noteGatedStall() { ++counters_.gatedStalls; }
 
     const Counters &counters() const { return counters_; }
 

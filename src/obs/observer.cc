@@ -1,7 +1,10 @@
 #include "obs/observer.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "common/log.hh"
 
 namespace mtp {
 namespace obs {
@@ -95,6 +98,31 @@ perRunPath(const std::string &base, const std::string &runTag)
         return base + "." + runTag;
     }
     return base.substr(0, dot) + "." + runTag + base.substr(dot);
+}
+
+std::vector<std::string>
+uniqueRunTags(const std::vector<std::string> &names,
+              const std::vector<std::uint64_t> &fingerprints)
+{
+    MTP_ASSERT(names.size() == fingerprints.size(),
+               "uniqueRunTags: ", names.size(), " names vs ",
+               fingerprints.size(), " fingerprints");
+    std::vector<std::string> tags;
+    tags.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        bool dup = false;
+        for (std::size_t j = 0; j < names.size() && !dup; ++j)
+            dup = j != i && names[j] == names[i];
+        if (!dup) {
+            tags.push_back(names[i]);
+            continue;
+        }
+        char hex[17];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(fingerprints[i]));
+        tags.push_back(names[i] + "-" + hex);
+    }
+    return tags;
 }
 
 bool

@@ -131,6 +131,18 @@ class Observer
  */
 std::string perRunPath(const std::string &base, const std::string &runTag);
 
+/**
+ * Disambiguate the per-run tags of one run matrix: any name shared by
+ * several entries gets a "-<16 hex>" suffix from the corresponding
+ * @p fingerprints entry (e.g. the driver's kernel content hash), so
+ * perRunPath() outputs cannot collide. Unique names pass through
+ * unchanged. Entries that share both name and fingerprint are the same
+ * run (one cache entry, one output) and keep identical tags.
+ */
+std::vector<std::string>
+uniqueRunTags(const std::vector<std::string> &names,
+              const std::vector<std::uint64_t> &fingerprints);
+
 /** The MTP_THROTTLE_TRACE env alias: set, non-empty, and not "0". */
 bool throttleTraceEnvEnabled();
 

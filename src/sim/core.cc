@@ -26,6 +26,8 @@ Core::Core(const SimConfig &cfg, CoreId id, const KernelDesc *kernel,
         throttle_ = std::make_unique<ThrottleEngine>(cfg);
     if (cfg.stridePcLateThrottle)
         lateThrottle_ = std::make_unique<LatenessThrottle>();
+    warpIssueCycles_.assign(warps_.size(), 0);
+    warpStallCycles_.assign(warps_.size(), 0);
     issuable_.resize(warps_.size());
     retirable_.resize(warps_.size());
     freeBlockSlots_.resize(maxBlocks_);
@@ -117,8 +119,11 @@ Core::tick(Cycle now)
 {
     drainCompletions(now);
     periodUpdate(now);
+    lsuBlock_ = LsuBlock::None;
+    const std::uint64_t issuedBefore = counters_.issueCycles;
     processLsu(now);
     issue(now);
+    accountCycle(now, counters_.issueCycles != issuedBefore);
     retireWarps();
 }
 
@@ -183,8 +188,13 @@ Core::processLsu(Cycle now)
             }
             Mshr::Entry *inflight = mshr_.find(addr);
             if (!inflight && (mshr_.full() || mem_->mrq(id_).full())) {
-                if (mshr_.full())
+                if (mshr_.full()) {
                     mshr_.noteFullStall();
+                    lsuBlock_ = LsuBlock::MshrFull;
+                } else {
+                    mem_->mrq(id_).noteGatedStall();
+                    lsuBlock_ = LsuBlock::MrqFull;
+                }
                 return; // retry next cycle
             }
             ++counters_.demandTxns;
@@ -211,8 +221,11 @@ Core::processLsu(Cycle now)
             break; // one MRQ push per cycle
         }
         if (lsu_.type == ReqType::DemandStore) {
-            if (!mem_->issue(id_, addr, ReqType::DemandStore, now, bytes))
+            if (!mem_->issue(id_, addr, ReqType::DemandStore, now, bytes)) {
+                // The push itself counted an MRQ fullStall.
+                lsuBlock_ = LsuBlock::MrqFull;
                 return;
+            }
             ++counters_.demandTxns;
             MTP_OBS_HOOK(tracer_, stage(obs::Stage::MrqEnqueue, addr, 1,
                                         id_, 0, now));
@@ -406,11 +419,13 @@ Core::issue(Cycle now)
         Cycle occ = occupancy(inst);
         execBusyUntil_ = now + occ;
         warp.readyAt = now + occ;
+        warp.branchWait = inst.op == Opcode::Branch;
         if (inst.op == Opcode::Branch)
             warp.readyAt += cfg_.decodeCycles;
 
         ++counters_.warpInstsIssued;
         ++counters_.issueCycles;
+        ++warpIssueCycles_[idx];
         switch (inst.op) {
           case Opcode::Load:
           case Opcode::Store:
@@ -557,6 +572,147 @@ Core::periodUpdate(Cycle now)
     }
 }
 
+Core::StallClass
+Core::classifyStall(Cycle now) const
+{
+    // First-match priority order of DESIGN.md §9. The LSU block
+    // reasons and the software-prefetch occupancy outrank the
+    // scheduler-side reasons: when the memory path consumed the cycle,
+    // that is where the cycle went, whatever the warps were doing.
+    if (activeWarpCount_ == 0 && !lsu_.valid)
+        return {CycleCat::IdleNoWarps, noBlame};
+    if (lsuBlock_ == LsuBlock::MshrFull)
+        return {CycleCat::StallMshrFull, noBlame};
+    if (lsuBlock_ == LsuBlock::MrqFull)
+        return {CycleCat::StallIcnt, noBlame};
+    if (lsu_.valid && lsu_.type == ReqType::SwPrefetch)
+        return {CycleCat::ThrottleInhibited, noBlame};
+    if (execBusyUntil_ > now)
+        return {CycleCat::StallExecBusy, noBlame};
+    if (!issuable_.any()) {
+        // Every resident warp is scoreboard-blocked on its own
+        // outstanding loads (or already finished and draining).
+        return {CycleCat::StallMem, noBlame};
+    }
+    // Scoreboard-issuable warps exist and the SIMD unit is free. Either
+    // a ready memory instruction sits behind the busy LSU (a memory
+    // stall), or every candidate is inside its own issue latency: blame
+    // the earliest-ready one (lowest slot on ties, matching the
+    // scheduler's scan order).
+    std::uint32_t blame = noBlame;
+    Cycle min_ready = invalidCycle;
+    for (std::size_t idx = issuable_.findFrom(0); idx != DynBitset::npos;
+         idx = issuable_.findFrom(idx + 1)) {
+        Cycle r = warps_[idx].readyAt;
+        if (r <= now)
+            return {CycleCat::StallMem, noBlame};
+        if (r < min_ready) {
+            min_ready = r;
+            blame = static_cast<std::uint32_t>(idx);
+        }
+    }
+    return {warps_[blame].branchWait ? CycleCat::StallFetchBranch
+                                     : CycleCat::StallOperand,
+            blame};
+}
+
+void
+Core::accountCycle(Cycle now, bool issued)
+{
+    if (issued) {
+        ++cycleCat_[static_cast<unsigned>(CycleCat::Issued)];
+        return;
+    }
+    StallClass sc = classifyStall(now);
+    ++cycleCat_[static_cast<unsigned>(sc.cat)];
+    if (sc.blame != noBlame)
+        ++warpStallCycles_[sc.blame];
+}
+
+void
+Core::accountSkip(Cycle from, Cycle to)
+{
+    MTP_ASSERT(to > from, "accountSkip() over an empty window");
+    // The event horizon only skips windows in which this core is
+    // quiescent: a pending LSU op pins nextEventAt() to now, so the
+    // LSU categories (and issues) can only occur in stepped cycles,
+    // and the block reason was reset by the last stepped tick.
+    MTP_ASSERT(!lsu_.valid, "skipped a window with a pending LSU op");
+    MTP_ASSERT(lsuBlock_ == LsuBlock::None,
+               "stale LSU block reason across a skip");
+    const std::uint64_t len = to - from;
+#if MTP_SLOW_CHECKS
+    const CycleBreakdown before = cycleCat_;
+#endif
+    if (activeWarpCount_ == 0) {
+        cycleCat_[static_cast<unsigned>(CycleCat::IdleNoWarps)] += len;
+    } else {
+        // Exec-busy outranks the memory/operand waits in the per-cycle
+        // classifier, so the window is an exec-busy prefix followed by
+        // either a memory wait (no issuable warp) or an operand/branch
+        // wait on the earliest-ready issuable warp.
+        Cycle exec_end = std::min(std::max(execBusyUntil_, from), to);
+        cycleCat_[static_cast<unsigned>(CycleCat::StallExecBusy)] +=
+            exec_end - from;
+        if (exec_end < to && !issuable_.any()) {
+            cycleCat_[static_cast<unsigned>(CycleCat::StallMem)] +=
+                to - exec_end;
+        } else if (exec_end < to) {
+            // nextEventAt(from) >= to, so min readyAt >= to: the rest
+            // of the window waits on the earliest-ready issuable warp.
+            std::uint32_t blame = noBlame;
+            Cycle min_ready = invalidCycle;
+            for (std::size_t idx = issuable_.findFrom(0);
+                 idx != DynBitset::npos;
+                 idx = issuable_.findFrom(idx + 1)) {
+                Cycle r = warps_[idx].readyAt;
+                if (r < min_ready) {
+                    min_ready = r;
+                    blame = static_cast<std::uint32_t>(idx);
+                }
+            }
+            MTP_ASSERT(min_ready >= to,
+                       "skipped past a ready warp (event-horizon bug)");
+            CycleCat cat = warps_[blame].branchWait
+                               ? CycleCat::StallFetchBranch
+                               : CycleCat::StallOperand;
+            cycleCat_[static_cast<unsigned>(cat)] += to - exec_end;
+            warpStallCycles_[blame] += to - exec_end;
+        }
+    }
+#if MTP_SLOW_CHECKS
+    // Cross-check the analytic split against the naive per-cycle
+    // classifier the fastForward=false loop would have run.
+    CycleBreakdown naive{};
+    for (Cycle c = from; c < to; ++c)
+        ++naive[static_cast<unsigned>(classifyStall(c).cat)];
+    for (unsigned k = 0; k < numCycleCats; ++k)
+        MTP_ASSERT(cycleCat_[k] - before[k] == naive[k],
+                   "bulk attribution diverges from per-cycle "
+                   "classification for category ",
+                   cycleCatName(static_cast<CycleCat>(k)));
+#endif
+}
+
+void
+Core::verifyCycleAccounting(Cycle elapsed) const
+{
+    MTP_ASSERT(breakdownTotal(cycleCat_) == elapsed,
+               "core ", id_, " cycle categories sum to ",
+               breakdownTotal(cycleCat_), ", not the ", elapsed,
+               " elapsed cycles");
+    MTP_ASSERT(cycleCount(CycleCat::Issued) == counters_.issueCycles,
+               "core ", id_, " Issued category (",
+               cycleCount(CycleCat::Issued),
+               ") out of sync with issueCycles (", counters_.issueCycles,
+               ")");
+    std::uint64_t per_warp = 0;
+    for (auto v : warpIssueCycles_)
+        per_warp += v;
+    MTP_ASSERT(per_warp == counters_.issueCycles,
+               "per-warp issue cycles out of sync");
+}
+
 void
 Core::exportStats(StatSet &set, const std::string &prefix) const
 {
@@ -608,6 +764,23 @@ Core::exportStats(StatSet &set, const std::string &prefix) const
     set.add(prefix + ".maxActiveWarps",
             static_cast<double>(maxActiveWarps_),
             "peak concurrently-resident warps");
+    for (unsigned k = 0; k < numCycleCats; ++k) {
+        auto cat = static_cast<CycleCat>(k);
+        set.add(prefix + ".cycles." + cycleCatName(cat),
+                static_cast<double>(cycleCat_[k]), cycleCatDesc(cat));
+    }
+    set.add(prefix + ".cycles.total",
+            static_cast<double>(breakdownTotal(cycleCat_)),
+            "attributed cycles (sum of all categories)");
+    for (std::size_t w = 0; w < warpIssueCycles_.size(); ++w) {
+        std::string wp = prefix + ".warp" + std::to_string(w);
+        set.add(wp + ".issuedCycles",
+                static_cast<double>(warpIssueCycles_[w]),
+                "cycles this warp slot issued");
+        set.add(wp + ".blamedStallCycles",
+                static_cast<double>(warpStallCycles_[w]),
+                "operand/branch stall cycles blamed on this slot");
+    }
     set.add(prefix + ".avgDemandLatency",
             counters_.demandCount
                 ? static_cast<double>(counters_.demandLatencySum) /

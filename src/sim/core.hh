@@ -26,6 +26,7 @@
 #include "mem/mshr.hh"
 #include "mem/prefetch_cache.hh"
 #include "obs/trace.hh"
+#include "sim/cycle_accounting.hh"
 #include "sim/warp.hh"
 
 namespace mtp {
@@ -99,6 +100,35 @@ class Core
     /** Peak concurrently-resident warps seen so far. */
     unsigned maxActiveWarps() const { return maxActiveWarps_; }
 
+    /**
+     * Bulk-attribute the skipped window [@p from, @p to) to cycle
+     * categories. Valid only for a window the event horizon skipped:
+     * the LSU is idle, the core state is frozen, and nextEventAt(from)
+     * >= @p to — so the window splits analytically into an exec-busy
+     * span followed by an operand/branch wait on the earliest-ready
+     * issuable warp (or is wholly idle / memory-stalled). Under
+     * MTP_SLOW_CHECKS the result is cross-checked against the naive
+     * per-cycle classifier.
+     */
+    void accountSkip(Cycle from, Cycle to);
+
+    /** Cycles attributed to @p cat so far. */
+    std::uint64_t
+    cycleCount(CycleCat cat) const
+    {
+        return cycleCat_[static_cast<unsigned>(cat)];
+    }
+
+    /** The full per-category tally. */
+    const CycleBreakdown &cycleBreakdown() const { return cycleCat_; }
+
+    /**
+     * Enforce the accounting invariants after @p elapsed simulated
+     * cycles: categories sum exactly to @p elapsed, and the Issued
+     * count equals Counters::issueCycles.
+     */
+    void verifyCycleAccounting(Cycle elapsed) const;
+
     const Counters &counters() const { return counters_; }
     const Mshr &mshr() const { return mshr_; }
     const PrefetchCache &prefCache() const { return prefCache_; }
@@ -151,6 +181,34 @@ class Core
 
     /** Periodic throttle / feedback updates. */
     void periodUpdate(Cycle now);
+
+    /** Why the LSU made no progress this cycle (reset every tick). */
+    enum class LsuBlock : std::uint8_t
+    {
+        None,     //!< not blocked (or no pending op)
+        MshrFull, //!< demand retry against a full MSHR
+        MrqFull,  //!< demand retry against a full MRQ (icnt pressure)
+    };
+
+    /** A classified non-issue cycle: category + blamed warp slot. */
+    struct StallClass
+    {
+        CycleCat cat;
+        std::uint32_t blame; //!< warp slot, or noBlame
+    };
+    static constexpr std::uint32_t noBlame = UINT32_MAX;
+
+    /**
+     * Classify a cycle that issued nothing, from end-of-tick state.
+     * Also the naive per-cycle oracle for accountSkip(): during a
+     * skipped window the LSU is idle and lsuBlock_ is None, so the
+     * same decision tree applies with only the time-dependent terms
+     * (execBusyUntil_, readyAt) varying across the window.
+     */
+    StallClass classifyStall(Cycle now) const;
+
+    /** Attribute the cycle just simulated to exactly one category. */
+    void accountCycle(Cycle now, bool issued);
 
     const SimConfig &cfg_;
     CoreId id_;
@@ -210,6 +268,15 @@ class Core
 
     obs::TraceRecorder *tracer_ = nullptr;
     Counters counters_;
+
+    /** Exclusive per-category cycle tally (DESIGN.md §9). */
+    CycleBreakdown cycleCat_{};
+    LsuBlock lsuBlock_ = LsuBlock::None;
+
+    /** Per warp slot: cycles that issued from this slot. */
+    std::vector<std::uint64_t> warpIssueCycles_;
+    /** Per warp slot: operand/branch stall cycles blamed on it. */
+    std::vector<std::uint64_t> warpStallCycles_;
 };
 
 } // namespace mtp

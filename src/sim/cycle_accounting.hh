@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cycle-accounting taxonomy: every core cycle is attributed to exactly
+ * one exclusive category (DESIGN.md §9). The categories reproduce the
+ * issue/stall breakdowns the paper's Sec. IV narratives rely on —
+ * memory stalls removed by timely prefetches vs. new stalls introduced
+ * by pollution and DRAM contention — and are shared between the core
+ * (per-cycle classification), the GPU (bulk attribution across skipped
+ * windows), the sampler probes and tools/mtp-report.
+ */
+
+#ifndef MTP_SIM_CYCLE_ACCOUNTING_HH
+#define MTP_SIM_CYCLE_ACCOUNTING_HH
+
+#include <array>
+#include <cstdint>
+
+namespace mtp {
+
+/**
+ * Where one core cycle went. Classification is first-match in the
+ * order below (the priority order DESIGN.md §9 documents), evaluated
+ * after the issue stage so an issuing cycle always counts as Issued.
+ */
+enum class CycleCat : std::uint8_t
+{
+    Issued = 0,        //!< a warp instruction issued this cycle
+    IdleNoWarps,       //!< no resident warps and no LSU work
+    StallMem,          //!< resident warps all waiting on outstanding
+                       //!< loads (or a ready mem inst behind the LSU)
+    StallExecBusy,     //!< SIMD unit occupied by a previous instruction
+    StallOperand,      //!< earliest candidate inside its own latency
+    StallMshrFull,     //!< LSU retrying a demand against a full MSHR
+    StallIcnt,         //!< LSU retrying against a full MRQ (injection
+                       //!< backpressure from the interconnect/DRAM)
+    StallFetchBranch,  //!< earliest candidate in a branch decode bubble
+    ThrottleInhibited, //!< software-prefetch txns occupying the LSU
+};
+
+inline constexpr unsigned numCycleCats = 9;
+
+/** Per-core cycle tally, indexed by CycleCat. */
+using CycleBreakdown = std::array<std::uint64_t, numCycleCats>;
+
+/** Stat-name slug of @p cat ("cycles.<slug>"). */
+constexpr const char *
+cycleCatName(CycleCat cat)
+{
+    switch (cat) {
+      case CycleCat::Issued:
+        return "issued";
+      case CycleCat::IdleNoWarps:
+        return "idleNoWarps";
+      case CycleCat::StallMem:
+        return "stallMem";
+      case CycleCat::StallExecBusy:
+        return "stallExecBusy";
+      case CycleCat::StallOperand:
+        return "stallOperand";
+      case CycleCat::StallMshrFull:
+        return "stallMshrFull";
+      case CycleCat::StallIcnt:
+        return "stallIcnt";
+      case CycleCat::StallFetchBranch:
+        return "stallFetchBranch";
+      case CycleCat::ThrottleInhibited:
+        return "throttleInhibited";
+    }
+    return "unknown";
+}
+
+/** Human description of @p cat for StatSet entries. */
+constexpr const char *
+cycleCatDesc(CycleCat cat)
+{
+    switch (cat) {
+      case CycleCat::Issued:
+        return "cycles that issued a warp instruction";
+      case CycleCat::IdleNoWarps:
+        return "cycles with no resident warps";
+      case CycleCat::StallMem:
+        return "cycles stalled on outstanding memory requests";
+      case CycleCat::StallExecBusy:
+        return "cycles the SIMD unit was occupied";
+      case CycleCat::StallOperand:
+        return "cycles waiting on operand/RAW latency";
+      case CycleCat::StallMshrFull:
+        return "cycles the LSU retried against a full MSHR";
+      case CycleCat::StallIcnt:
+        return "cycles the LSU retried against a full MRQ "
+               "(interconnect backpressure)";
+      case CycleCat::StallFetchBranch:
+        return "cycles waiting on a branch decode bubble";
+      case CycleCat::ThrottleInhibited:
+        return "cycles software-prefetch transactions held the LSU";
+    }
+    return "";
+}
+
+/** Sum of all categories (must equal elapsed cycles). */
+inline std::uint64_t
+breakdownTotal(const CycleBreakdown &b)
+{
+    std::uint64_t sum = 0;
+    for (auto v : b)
+        sum += v;
+    return sum;
+}
+
+} // namespace mtp
+
+#endif // MTP_SIM_CYCLE_ACCOUNTING_HH

@@ -131,6 +131,17 @@ Gpu::attachObserver(obs::Observer *obs)
                                core->throttle()->degree());
                        });
         }
+        // Cycle-accounting categories as per-period fractions: the
+        // delta of each exclusive tally divided by the period, so the
+        // nine tracks of one core sum to 1 in every sample row.
+        for (unsigned k = 0; k < numCycleCats; ++k) {
+            auto cat = static_cast<CycleCat>(k);
+            s.addProbe(p + "cycles." + cycleCatName(cat), pid,
+                       Kind::Rate, [core, cat](Cycle) {
+                           return static_cast<double>(
+                               core->cycleCount(cat));
+                       });
+        }
     }
     for (unsigned ch = 0; ch < mem_->numChannels(); ++ch) {
         std::string p = "dram" + std::to_string(ch) + ".";
@@ -325,6 +336,11 @@ Gpu::skipTo(Cycle target)
         rrStartCore_ = static_cast<unsigned>(
             (rrStartCore_ + (target - now_)) % n);
     }
+    // Attribute the skipped cycles of every core to stall categories;
+    // the analytic split mirrors the nextEventAt() reasoning that
+    // justified the skip.
+    for (auto &core : cores_)
+        core->accountSkip(now_, target);
     now_ = target;
 }
 
@@ -415,6 +431,21 @@ Gpu::summarize() const
     r.stats.add("sim.cpi", r.cpi, "per-core cycles per warp instruction");
     r.stats.add("sim.avgActiveWarps", r.avgActiveWarps,
                 "mean resident warps per busy core");
+    r.stats.add("sim.numCores", static_cast<double>(cfg_.numCores),
+                "cores simulated");
+    // Cycle-accounting invariants (DESIGN.md §9): every elapsed cycle
+    // of every core attributed to exactly one category, and the Issued
+    // category reconciled against Counters::issueCycles.
+    for (const auto &core : cores_)
+        core->verifyCycleAccounting(now_);
+    for (unsigned k = 0; k < numCycleCats; ++k) {
+        auto cat = static_cast<CycleCat>(k);
+        std::uint64_t sum = 0;
+        for (const auto &core : cores_)
+            sum += core->cycleCount(cat);
+        r.stats.add(std::string("sim.cycles.") + cycleCatName(cat),
+                    static_cast<double>(sum), cycleCatDesc(cat));
+    }
     for (CoreId c = 0; c < cores_.size(); ++c)
         cores_[c]->exportStats(r.stats, "core" + std::to_string(c));
     mem_->exportStats(r.stats, "mem");

@@ -25,6 +25,7 @@ struct Warp
     BlockId block = 0;        //!< grid block this warp belongs to
     Cycle readyAt = 0;        //!< earliest cycle the next inst may issue
     bool active = false;      //!< slot holds a live warp
+    bool branchWait = false;  //!< current readyAt wait is a branch bubble
 
     /** In-flight loads per value slot (scoreboard). */
     std::array<std::uint8_t, numValueSlots> outstanding{};
@@ -102,6 +103,7 @@ struct Warp
         block = blk;
         readyAt = 0;
         active = true;
+        branchWait = false;
         outstanding.fill(0);
         relaxedSlot.fill(false);
     }

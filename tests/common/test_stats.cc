@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <locale>
 #include <sstream>
 
 #include "common/stats.hh"
+#include "obs/json.hh"
 
 namespace mtp {
 namespace {
@@ -117,6 +120,84 @@ TEST(StatSet, DumpJson)
     // Balanced object syntax, one entry per line.
     EXPECT_EQ(out.front(), '{');
     EXPECT_EQ(out[out.size() - 2], '}');
+}
+
+/** A numpunct facet with ',' as the decimal point (like de_DE). */
+class CommaDecimal : public std::numpunct<char>
+{
+  protected:
+    char
+    do_decimal_point() const override
+    {
+        return ',';
+    }
+    std::string
+    do_grouping() const override
+    {
+        return "\3";
+    }
+    char
+    do_thousands_sep() const override
+    {
+        return '.';
+    }
+};
+
+/**
+ * dumpJson output must be valid JSON regardless of the global locale:
+ * number formatting goes through std::to_chars, never operator<<, so a
+ * comma-decimal locale cannot corrupt the stream.
+ */
+TEST(StatSet, DumpJsonIsLocaleIndependent)
+{
+    StatSet s;
+    s.add("frac", 1234567.25, "would print '1.234.567,25' via iostream");
+    s.add("tiny", 1e-300);
+
+    std::locale old = std::locale::global(
+        std::locale(std::locale::classic(), new CommaDecimal));
+    std::ostringstream os;
+    os.imbue(std::locale()); // pick up the hostile global locale
+    s.dumpJson(os);
+    std::locale::global(old);
+
+    obs::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(obs::parseJson(os.str(), v, &err)) << err << "\n"
+                                                   << os.str();
+    EXPECT_DOUBLE_EQ(v.find("frac")->find("value")->number, 1234567.25);
+}
+
+/**
+ * Round trip: every double written by dumpJson must parse back to the
+ * exact same bits (to_chars emits shortest-exact representations).
+ */
+TEST(StatSet, DumpJsonRoundTripsExactDoubles)
+{
+    StatSet s;
+    s.add("tenth", 0.1);
+    s.add("third", 1.0 / 3.0);
+    s.add("huge", 1.7976931348623157e308);
+    s.add("tiny", 5e-324); // smallest subnormal
+    s.add("negzero", -0.0);
+    s.add("int53", 9007199254740993.0);
+    s.add("inf", std::numeric_limits<double>::infinity());
+    std::ostringstream os;
+    s.dumpJson(os);
+
+    obs::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(obs::parseJson(os.str(), v, &err)) << err;
+    for (const char *name : {"tenth", "third", "huge", "tiny", "negzero",
+                             "int53"}) {
+        const obs::JsonValue *entry = v.find(name);
+        ASSERT_NE(entry, nullptr) << name;
+        EXPECT_EQ(entry->find("value")->number, s.get(name)) << name;
+    }
+    // Non-finite values have no JSON literal; they are emitted as null
+    // so the document stays parseable.
+    EXPECT_EQ(v.find("inf")->find("value")->kind,
+              obs::JsonValue::Kind::Null);
 }
 
 TEST(Histogram, BucketsAndSummary)

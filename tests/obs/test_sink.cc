@@ -257,6 +257,37 @@ TEST(PerRunPath, InsertsTagBeforeExtension)
     EXPECT_EQ(perRunPath("", "mp"), "");
 }
 
+/**
+ * Regression: two different kernels sharing a name (e.g. the same
+ * benchmark with and without a SW-prefetch transform) used to resolve
+ * to the same per-run path and silently overwrite each other's output.
+ * Duplicated names now get a content-fingerprint suffix.
+ */
+TEST(UniqueRunTags, DisambiguatesDuplicateNames)
+{
+    std::vector<std::string> names = {"mp", "stream", "mp"};
+    std::vector<std::uint64_t> fps = {0x1111, 0x2222, 0xabcdef01234567ffull};
+    std::vector<std::string> tags = uniqueRunTags(names, fps);
+    ASSERT_EQ(tags.size(), 3u);
+    // Unique names pass through untouched.
+    EXPECT_EQ(tags[1], "stream");
+    // Duplicates keep the name as a prefix but must differ.
+    EXPECT_EQ(tags[0], "mp-0000000000001111");
+    EXPECT_EQ(tags[2], "mp-abcdef01234567ff");
+    EXPECT_NE(perRunPath("trace.json", tags[0]),
+              perRunPath("trace.json", tags[2]));
+}
+
+TEST(UniqueRunTags, IdenticalRunsKeepIdenticalTags)
+{
+    // Same name AND same fingerprint is the same run submitted twice;
+    // it would hit the run cache, so the tags may legitimately match.
+    std::vector<std::string> names = {"mp", "mp"};
+    std::vector<std::uint64_t> fps = {7, 7};
+    std::vector<std::string> tags = uniqueRunTags(names, fps);
+    EXPECT_EQ(tags[0], tags[1]);
+}
+
 } // namespace
 } // namespace obs
 } // namespace mtp

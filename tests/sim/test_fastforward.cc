@@ -19,6 +19,7 @@
 
 #include "core/sw_prefetch.hh"
 #include "driver/run_cache.hh"
+#include "sim/cycle_accounting.hh"
 #include "sim/gpu.hh"
 #include "tests/test_helpers.hh"
 
@@ -133,6 +134,34 @@ TEST(FastForwardGolden, MatrixIdentical)
             expectBitIdentical(simulate(fast, kernel),
                                simulate(naive, kernel),
                                cname + "/" + kname);
+        }
+    }
+}
+
+/**
+ * Cycle accounting across the matrix: the nine exclusive categories of
+ * every core must sum to the elapsed cycles in every configuration
+ * (MatrixIdentical already proves fast == naive byte-for-byte on the
+ * same stats; this pins the accounting identity itself).
+ */
+TEST(FastForwardGolden, MatrixCycleAccountingComplete)
+{
+    for (const auto &[cname, cfg] : goldenConfigs()) {
+        for (const auto &[kname, kernel] : goldenKernels()) {
+            RunResult r = simulate(cfg, kernel);
+            std::string label = cname + "/" + kname;
+            for (unsigned c = 0; c < cfg.numCores; ++c) {
+                std::string p = "core" + std::to_string(c) + ".cycles.";
+                double sum = 0.0;
+                for (unsigned k = 0; k < numCycleCats; ++k)
+                    sum += r.stats.get(
+                        p + cycleCatName(static_cast<CycleCat>(k)));
+                EXPECT_DOUBLE_EQ(sum, static_cast<double>(r.cycles))
+                    << label << ": core " << c;
+                EXPECT_DOUBLE_EQ(r.stats.get(p + "total"),
+                                 static_cast<double>(r.cycles))
+                    << label << ": core " << c;
+            }
         }
     }
 }

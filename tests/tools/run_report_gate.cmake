@@ -1,0 +1,50 @@
+# CTest driver for the mtp-report regression gate. Invoked as
+#
+#   cmake -DMTP_SIM=<path> -DMTP_REPORT=<path> -DDATA_DIR=<path>
+#         -DWORK_DIR=<path> -P run_report_gate.cmake
+#
+# Exercises the full artifact pipeline end to end: re-simulates the
+# golden workload, checks the report modes run clean on real inputs,
+# gates the fresh run against the checked-in golden snapshot, and
+# verifies a known-regressed snapshot actually trips the gate.
+
+foreach(var MTP_SIM MTP_REPORT DATA_DIR WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "${var} must be defined")
+    endif()
+endforeach()
+
+set(GOLDEN "${DATA_DIR}/golden_stream_base.json")
+set(MTHWP "${DATA_DIR}/golden_stream_mthwp.json")
+set(REGRESSED "${DATA_DIR}/golden_stream_regressed.json")
+
+function(run_step expect_status)
+    execute_process(COMMAND ${ARGN} RESULT_VARIABLE status)
+    if(NOT status EQUAL ${expect_status})
+        string(JOIN " " cmd ${ARGN})
+        message(FATAL_ERROR
+            "'${cmd}' exited ${status}, expected ${expect_status}")
+    endif()
+endfunction()
+
+# 1. Regenerate the golden workload with the current simulator. The
+#    simulator is deterministic, so any drift shows up in the gate.
+run_step(0 ${MTP_SIM} --bench stream --scale 64 --quiet
+    --stats ${WORK_DIR}/report_gate_fresh.json --json
+    --sample-period 4096 --events ${WORK_DIR}/report_gate_fresh.jsonl
+    numCores=2 dramChannels=2)
+
+# 2. Report modes must run clean on real artifacts.
+run_step(0 ${MTP_REPORT} show ${GOLDEN} ${MTHWP}
+    --jsonl ${WORK_DIR}/report_gate_fresh.jsonl)
+run_step(0 ${MTP_REPORT} compare ${GOLDEN} ${MTHWP})
+
+# 3. The fresh run must match the checked-in snapshot within the gate.
+run_step(0 ${MTP_REPORT} diff ${GOLDEN}
+    ${WORK_DIR}/report_gate_fresh.json --gate 5)
+
+# 4. A known regression (3x memory latency) must trip the gate ...
+run_step(1 ${MTP_REPORT} diff ${GOLDEN} ${REGRESSED} --gate 5)
+
+# 5. ... and pass when the gate is wide enough to absorb it.
+run_step(0 ${MTP_REPORT} diff ${GOLDEN} ${REGRESSED} --gate 50)

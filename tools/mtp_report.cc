@@ -1,0 +1,444 @@
+/**
+ * @file
+ * mtp-report: offline analysis of mtp-sim run artifacts (the StatSet
+ * JSON written by --stats --json, optionally the JSONL written by
+ * --events).
+ *
+ *   mtp-report show <stats.json> [more.json ...]
+ *       per-run stall-breakdown table (DESIGN.md §9 taxonomy)
+ *   mtp-report compare <baseline.json> <run.json> [more.json ...]
+ *       speedup vs. the baseline, prefetch benefit attributed to
+ *       removed memory-stall cycles, and the measured effect checked
+ *       against the MTAML prediction (paper Sec. IV)
+ *   mtp-report diff <A.json> <B.json> [--gate <pct>]
+ *       regression gate: exit 1 when B's cycles exceed A's by more
+ *       than <pct> percent (default 0)
+ *   --jsonl <events.jsonl>   attach a sampled time-series summary
+ *
+ * Exit status: 0 on success, 1 on a detected regression (diff mode),
+ * other nonzero on usage or input errors.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mtprefetch/mtprefetch.hh"
+#include "sim/cycle_accounting.hh"
+
+namespace {
+
+using namespace mtp;
+
+/** One loaded stats file. */
+struct Run
+{
+    std::string path;
+    std::string label; //!< basename without extension
+    std::map<std::string, double> stats;
+
+    double
+    get(const std::string &name) const
+    {
+        auto it = stats.find(name);
+        if (it == stats.end())
+            MTP_FATAL("'", path, "' has no statistic '", name,
+                      "' — was it written by mtp-sim --stats --json?");
+        return it->second;
+    }
+
+    double
+    getOr(const std::string &name, double fallback) const
+    {
+        auto it = stats.find(name);
+        return it == stats.end() ? fallback : it->second;
+    }
+
+    /** Sum of every "core<i><suffix>" entry (all cores). */
+    double
+    coreSum(const std::string &suffix) const
+    {
+        double total = 0.0;
+        for (unsigned c = 0;; ++c) {
+            auto it = stats.find("core" + std::to_string(c) + suffix);
+            if (it == stats.end())
+                return total;
+            total += it->second;
+        }
+    }
+
+    /** Total core-cycles: elapsed cycles times the core count. */
+    double
+    coreCycles() const
+    {
+        return get("sim.cycles") * get("sim.numCores");
+    }
+
+    /** Memory-side stall cycles: stall-mem + MSHR-full + icnt. */
+    double
+    memStallCycles() const
+    {
+        return get("sim.cycles.stallMem") +
+               get("sim.cycles.stallMshrFull") +
+               get("sim.cycles.stallIcnt");
+    }
+};
+
+std::string
+basenameNoExt(const std::string &path)
+{
+    auto slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    auto dot = base.find_last_of('.');
+    return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+Run
+loadStats(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        MTP_FATAL("cannot read '", path, "'");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    obs::JsonValue doc;
+    std::string error;
+    if (!obs::parseJson(ss.str(), doc, &error))
+        MTP_FATAL("'", path, "': invalid JSON: ", error);
+    if (!doc.isObject())
+        MTP_FATAL("'", path, "': expected a top-level JSON object");
+    Run run;
+    run.path = path;
+    run.label = basenameNoExt(path);
+    for (const auto &[name, entry] : doc.object) {
+        const obs::JsonValue *value =
+            entry.isObject() ? entry.find("value") : &entry;
+        if (value && value->isNumber())
+            run.stats.emplace(name, value->number);
+    }
+    if (run.stats.empty())
+        MTP_FATAL("'", path, "': no numeric statistics found");
+    return run;
+}
+
+/** Stall-breakdown table: one category per row, one run per column. */
+void
+printBreakdown(const std::vector<Run> &runs)
+{
+    std::printf("%-18s", "category");
+    for (const auto &run : runs)
+        std::printf("  %20s", run.label.c_str());
+    std::printf("\n");
+    for (unsigned k = 0; k < numCycleCats; ++k) {
+        auto cat = static_cast<CycleCat>(k);
+        std::printf("%-18s", cycleCatName(cat));
+        for (const auto &run : runs) {
+            double v =
+                run.get(std::string("sim.cycles.") + cycleCatName(cat));
+            double frac = run.coreCycles() > 0
+                              ? 100.0 * v / run.coreCycles()
+                              : 0.0;
+            std::printf("  %13.0f %5.1f%%", v, frac);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-18s", "total core-cycles");
+    for (const auto &run : runs)
+        std::printf("  %13.0f       ", run.coreCycles());
+    std::printf("\n%-18s", "cycles");
+    for (const auto &run : runs)
+        std::printf("  %13.0f       ", run.get("sim.cycles"));
+    std::printf("\n");
+}
+
+/** Demand-latency mean over all cores (histogram-count weighted). */
+double
+avgDemandLatency(const Run &run)
+{
+    double count = run.coreSum(".demandLatency.count");
+    if (count <= 0)
+        return 0.0;
+    double sum = 0.0;
+    for (unsigned c = 0;; ++c) {
+        std::string p = "core" + std::to_string(c);
+        auto it = run.stats.find(p + ".demandLatency.count");
+        if (it == run.stats.end())
+            break;
+        sum += it->second * run.getOr(p + ".demandLatency.mean", 0.0);
+    }
+    return sum / count;
+}
+
+/** Measured effect, in MTAML's vocabulary. */
+const char *
+measuredEffect(double speedup)
+{
+    if (speedup > 1.02)
+        return "useful";
+    if (speedup < 0.98)
+        return "harmful";
+    return "no effect";
+}
+
+void
+printCompare(const Run &base, const std::vector<Run> &runs)
+{
+    double base_cycles = base.get("sim.cycles");
+    double base_core_cycles = base.coreCycles();
+    double base_mem_stall = base.memStallCycles();
+    double base_lat = avgDemandLatency(base);
+
+    // MTAML inputs come from the baseline's instruction mix: branches
+    // count as computation (they occupy the pipeline, not memory).
+    MtamlInputs in;
+    in.compInsts =
+        base.coreSum(".compInsts") + base.coreSum(".branchInsts");
+    in.memInsts = base.coreSum(".memInsts");
+    in.activeWarps = base.get("sim.avgActiveWarps");
+
+    std::printf("baseline %s: %.0f cycles, %.1f%% mem-stall, "
+                "avg demand latency %.1f\n",
+                base.label.c_str(), base_cycles,
+                base_core_cycles > 0
+                    ? 100.0 * base_mem_stall / base_core_cycles
+                    : 0.0,
+                base_lat);
+    std::printf("MTAML (no prefetch) = %.1f cycles tolerable\n\n",
+                mtaml(in));
+    std::printf("%-20s %8s %10s %10s %12s %12s\n", "run", "speedup",
+                "memstall%", "benefit%", "measured", "MTAML");
+    for (const auto &run : runs) {
+        double cycles = run.get("sim.cycles");
+        double speedup = cycles > 0 ? base_cycles / cycles : 0.0;
+        double mem_stall = run.memStallCycles();
+        double mem_frac = run.coreCycles() > 0
+                              ? 100.0 * mem_stall / run.coreCycles()
+                              : 0.0;
+        // Prefetch benefit attributed to removed memory-stall cycles,
+        // as a fraction of the baseline's total core-cycles.
+        double benefit =
+            base_core_cycles > 0
+                ? 100.0 * (base_mem_stall - mem_stall) / base_core_cycles
+                : 0.0;
+        double hits = run.coreSum(".prefCacheHitTxns");
+        double demands = run.coreSum(".demandTxns");
+        MtamlInputs pin = in;
+        pin.prefHitProb =
+            hits + demands > 0 ? hits / (hits + demands) : 0.0;
+        PrefEffect predicted =
+            classify(pin, base_lat, avgDemandLatency(run));
+        std::printf("%-20s %7.3fx %9.1f%% %9.1f%% %12s %12s\n",
+                    run.label.c_str(), speedup, mem_frac, benefit,
+                    measuredEffect(speedup),
+                    toString(predicted).c_str());
+    }
+}
+
+int
+printDiff(const Run &a, const Run &b, double gatePct)
+{
+    double ca = a.get("sim.cycles");
+    double cb = b.get("sim.cycles");
+    double delta = ca > 0 ? 100.0 * (cb - ca) / ca : 0.0;
+    std::printf("cycles: %s %.0f -> %s %.0f (%+.3f%%)\n",
+                a.label.c_str(), ca, b.label.c_str(), cb, delta);
+
+    // Largest per-category movements, for context.
+    for (unsigned k = 0; k < numCycleCats; ++k) {
+        std::string name =
+            std::string("sim.cycles.") +
+            cycleCatName(static_cast<CycleCat>(k));
+        double va = a.getOr(name, 0.0);
+        double vb = b.getOr(name, 0.0);
+        if (va != vb)
+            std::printf("  %-28s %13.0f -> %13.0f\n", name.c_str(), va,
+                        vb);
+    }
+    std::size_t only_a = 0;
+    std::size_t only_b = 0;
+    for (const auto &[name, v] : a.stats)
+        only_a += b.stats.find(name) == b.stats.end() ? 1 : 0;
+    for (const auto &[name, v] : b.stats)
+        only_b += a.stats.find(name) == a.stats.end() ? 1 : 0;
+    if (only_a || only_b)
+        std::printf("  (schema drift: %zu stats only in A, %zu only "
+                    "in B)\n",
+                    only_a, only_b);
+
+    if (delta > gatePct) {
+        std::printf("REGRESSION: +%.3f%% cycles exceeds the %.3f%% "
+                    "gate\n",
+                    delta, gatePct);
+        return 1;
+    }
+    std::printf("OK: within the %.3f%% gate\n", gatePct);
+    return 0;
+}
+
+/** Summarize a JSONL events file: counts + mean sampled stall mix. */
+void
+summarizeJsonl(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        MTP_FATAL("cannot read '", path, "'");
+    std::string line;
+    std::uint64_t samples = 0;
+    std::uint64_t events = 0;
+    Cycle last_cycle = 0;
+    std::map<std::string, double> sums; //!< per sampled column
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        obs::JsonValue doc;
+        std::string error;
+        if (!obs::parseJson(line, doc, &error))
+            MTP_FATAL("'", path, "': invalid JSONL line: ", error);
+        const obs::JsonValue *t = doc.find("t");
+        if (!t || !t->isString())
+            continue;
+        if (t->str == "sample") {
+            ++samples;
+            if (const obs::JsonValue *cyc = doc.find("cycle"))
+                last_cycle = static_cast<Cycle>(cyc->number);
+            if (const obs::JsonValue *v = doc.find("v")) {
+                for (const auto &[name, val] : v->object) {
+                    if (val.isNumber())
+                        sums[name] += val.number;
+                }
+            }
+        } else if (t->str != "schema") {
+            ++events;
+        }
+    }
+    std::printf("\n%s: %llu samples (through cycle %llu), %llu events\n",
+                path.c_str(), static_cast<unsigned long long>(samples),
+                static_cast<unsigned long long>(last_cycle),
+                static_cast<unsigned long long>(events));
+    if (samples == 0)
+        return;
+    // Mean per-period stall mix across all cores: average the
+    // "core<i>.cycles.<cat>" rate columns (fractions of each period).
+    std::printf("mean sampled cycle mix (all cores):");
+    bool any = false;
+    for (unsigned k = 0; k < numCycleCats; ++k) {
+        std::string suffix =
+            std::string(".cycles.") +
+            cycleCatName(static_cast<CycleCat>(k));
+        double total = 0.0;
+        std::uint64_t cols = 0;
+        for (const auto &[name, sum] : sums) {
+            if (name.size() > suffix.size() &&
+                name.compare(name.size() - suffix.size(), suffix.size(),
+                             suffix) == 0) {
+                total += sum;
+                ++cols;
+            }
+        }
+        if (cols > 0) {
+            any = true;
+            std::printf(" %s=%.1f%%",
+                        cycleCatName(static_cast<CycleCat>(k)),
+                        100.0 * total /
+                            (static_cast<double>(cols) * samples));
+        }
+    }
+    std::printf(any ? "\n" : " (no cycle-accounting columns sampled)\n");
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s <mode> [args]\n"
+        "  show <stats.json>...                stall-breakdown table\n"
+        "  compare <baseline.json> <run.json>... speedup + MTAML check\n"
+        "  diff <A.json> <B.json> [--gate pct] regression gate (exit 1)\n"
+        "  any mode: --jsonl <events.jsonl>    time-series summary\n"
+        "Inputs are mtp-sim artifacts: --stats <f> --json (and "
+        "--events <f>).\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(argv[0]);
+        return 2;
+    }
+    std::string mode = argv[1];
+    if (mode == "--help" || mode == "-h") {
+        usage(argv[0]);
+        return 0;
+    }
+    std::vector<std::string> files;
+    std::string jsonl;
+    double gate = 0.0;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                MTP_FATAL(what, " needs an argument");
+            return argv[++i];
+        };
+        if (arg == "--gate") {
+            gate = std::stod(next("--gate"));
+        } else if (arg == "--jsonl") {
+            jsonl = next("--jsonl");
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    int status = 0;
+    if (mode == "show") {
+        if (files.empty()) {
+            usage(argv[0]);
+            return 2;
+        }
+        std::vector<Run> runs;
+        for (const auto &f : files)
+            runs.push_back(loadStats(f));
+        printBreakdown(runs);
+    } else if (mode == "compare") {
+        if (files.size() < 2) {
+            usage(argv[0]);
+            return 2;
+        }
+        Run base = loadStats(files.front());
+        std::vector<Run> runs;
+        for (std::size_t i = 1; i < files.size(); ++i)
+            runs.push_back(loadStats(files[i]));
+        printCompare(base, runs);
+    } else if (mode == "diff") {
+        if (files.size() != 2) {
+            usage(argv[0]);
+            return 2;
+        }
+        status = printDiff(loadStats(files[0]), loadStats(files[1]),
+                           gate);
+    } else {
+        std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+        usage(argv[0]);
+        return 2;
+    }
+    if (!jsonl.empty())
+        summarizeJsonl(jsonl);
+    return status;
+}

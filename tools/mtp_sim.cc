@@ -203,17 +203,28 @@ main(int argc, char **argv)
 
     // With several kernels each run needs its own output files: derive
     // per-kernel paths by tagging the requested ones with the kernel
-    // name ("out.json" -> "out.mp.json").
-    auto obsFor = [&](const KernelDesc &kernel) {
+    // name ("out.json" -> "out.mp.json"). Kernels sharing a name get a
+    // content-hash suffix so distinct runs never write the same file.
+    std::vector<std::string> runTags;
+    {
+        std::vector<std::string> names;
+        std::vector<std::uint64_t> hashes;
+        for (const KernelDesc &kernel : kernels) {
+            names.push_back(kernel.name);
+            hashes.push_back(driver::hashKernel(kernel));
+        }
+        runTags = obs::uniqueRunTags(names, hashes);
+    }
+    auto obsFor = [&](std::size_t idx) {
         obs::ObsConfig o = ocfg;
         if (kernels.size() > 1) {
+            const std::string &tag = runTags[idx];
             if (!o.timeSeriesCsv.empty())
-                o.timeSeriesCsv = obs::perRunPath(o.timeSeriesCsv,
-                                                  kernel.name);
+                o.timeSeriesCsv = obs::perRunPath(o.timeSeriesCsv, tag);
             if (!o.jsonlPath.empty())
-                o.jsonlPath = obs::perRunPath(o.jsonlPath, kernel.name);
+                o.jsonlPath = obs::perRunPath(o.jsonlPath, tag);
             if (!o.chromePath.empty())
-                o.chromePath = obs::perRunPath(o.chromePath, kernel.name);
+                o.chromePath = obs::perRunPath(o.chromePath, tag);
         }
         return o;
     };
@@ -222,11 +233,12 @@ main(int argc, char **argv)
     // order; with any --jobs value the output is byte-identical.
     driver::ParallelExecutor exec(jobs);
     driver::RunCache cache(exec);
-    for (const KernelDesc &kernel : kernels)
-        cache.submit(cfg, kernel, obsFor(kernel));
+    for (std::size_t i = 0; i < kernels.size(); ++i)
+        cache.submit(cfg, kernels[i], obsFor(i));
 
     bool first = true;
-    for (const KernelDesc &kernel : kernels) {
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const KernelDesc &kernel = kernels[i];
         const RunResult &r = cache.result(cfg, kernel);
 
         if (!quiet) {
@@ -274,7 +286,7 @@ main(int argc, char **argv)
         }
 
         if (!quiet) {
-            obs::ObsConfig o = obsFor(kernel);
+            obs::ObsConfig o = obsFor(i);
             if (!o.timeSeriesCsv.empty())
                 std::printf("timeseries  %s\n", o.timeSeriesCsv.c_str());
             if (!o.jsonlPath.empty())
