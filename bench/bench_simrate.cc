@@ -12,12 +12,23 @@
  *
  * The workload set is a latency-bound microkernel built to expose the
  * best case (two dependent-load warps per core, so the machine idles
- * for most of every memory round trip) plus one benchmark from each
- * workload class. Exits nonzero on any fast/naive mismatch.
+ * for most of every memory round trip), one benchmark from each
+ * workload class, and two event-dense full-machine kernels (a
+ * bfs-style irregular pointer walk and a high-MLP streaming kernel)
+ * that stress the event-queue schedule where the legacy polling loop
+ * historically regressed. Exits nonzero on any fast/naive mismatch.
+ *
+ * --gate additionally enforces the performance contract of the
+ * event-queue scheduler: every per-workload speedup >= 1.0x and the
+ * geomean >= 3.0x. Workloads falling short are re-measured up to
+ * three times (best-of-N) so a CI scheduling hiccup in one timing
+ * cannot fail the gate; a genuine regression still does.
  *
  * Usage: bench_simrate [--scale N] [--bench a,b] [--out FILE] [--smoke]
+ *                      [--gate]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +67,78 @@ latencyMicroKernel(unsigned numCores, unsigned trips)
     p.iterStride = 1 << 20; // a fresh row every trip: no locality
     loop.insts.push_back(StaticInst::load(p, 0));
     loop.insts.push_back(StaticInst::compUse(0, -1, 2));
+    loop.insts.push_back(StaticInst::branch());
+    k.segments.push_back(loop);
+    k.finalize();
+    return k;
+}
+
+/**
+ * A bfs-style irregular kernel at full machine width: every trip is a
+ * dependent chain of two scattered loads, so warps stall on
+ * unpredictable DRAM round trips and completions arrive at irregular
+ * cycles across all cores — the event-dense regime where the legacy
+ * polling loop paid the full O(cores) bound computation every cycle
+ * for nothing.
+ */
+KernelDesc
+scatterWalkKernel(unsigned numCores, unsigned trips)
+{
+    KernelDesc k;
+    k.name = "scatter_walk";
+    k.warpsPerBlock = 4;
+    k.numBlocks = 4ULL * numCores;
+    k.maxBlocksPerCore = 2;
+
+    Segment loop;
+    loop.trips = trips;
+    AddressPattern frontier;
+    frontier.base = 0x2000'0000ULL;
+    frontier.threadStride = 64; // one block per lane: fully uncoalesced
+    frontier.iterStride = 4096;
+    frontier.scatterFrac = 0.75;
+    frontier.scatterSpan = 1ULL << 26;
+    frontier.scatterSalt = 1;
+    AddressPattern neighbor = frontier;
+    neighbor.base = 0x6000'0000ULL;
+    neighbor.scatterSalt = 2;
+    loop.insts.push_back(StaticInst::load(frontier, 0));
+    loop.insts.push_back(StaticInst::compUse(0, -1, 1));
+    loop.insts.push_back(StaticInst::load(neighbor, 1));
+    loop.insts.push_back(StaticInst::compUse(1, -1, 1));
+    loop.insts.push_back(StaticInst::branch());
+    k.segments.push_back(loop);
+    k.finalize();
+    return k;
+}
+
+/**
+ * A high-MLP streaming kernel at full machine width: four independent
+ * coalesced loads per trip issue back-to-back before the first use, so
+ * every core keeps several DRAM round trips in flight and the memory
+ * system stays saturated — dense events on the memory side while cores
+ * spend most cycles parked waiting.
+ */
+KernelDesc
+mlpStreamKernel(unsigned numCores, unsigned trips)
+{
+    KernelDesc k;
+    k.name = "mlp_stream";
+    k.warpsPerBlock = 4;
+    k.numBlocks = 4ULL * numCores;
+    k.maxBlocksPerCore = 2;
+
+    Segment loop;
+    loop.trips = trips;
+    for (int slot = 0; slot < 4; ++slot) {
+        AddressPattern p;
+        p.base = 0x1000'0000ULL + (static_cast<Addr>(slot) << 26);
+        p.threadStride = 4;
+        p.iterStride = 512;
+        loop.insts.push_back(StaticInst::load(p, slot));
+    }
+    loop.insts.push_back(StaticInst::compUse(0, 1, 1));
+    loop.insts.push_back(StaticInst::compUse(2, 3, 1));
     loop.insts.push_back(StaticInst::branch());
     k.segments.push_back(loop);
     k.finalize();
@@ -162,6 +245,7 @@ main(int argc, char **argv)
 {
     unsigned scaleDiv = 8;
     bool smoke = false;
+    bool gate = false;
     std::string out = "BENCH_simrate.json";
     std::vector<std::string> filter;
     for (int i = 1; i < argc; ++i) {
@@ -177,10 +261,12 @@ main(int argc, char **argv)
             out = argv[++i];
         } else if (arg == "--smoke") {
             smoke = true;
+        } else if (arg == "--gate") {
+            gate = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--scale N] [--bench a,b] "
-                         "[--out FILE] [--smoke]\n",
+                         "[--out FILE] [--smoke] [--gate]\n",
                          argv[0]);
             return 2;
         }
@@ -197,7 +283,8 @@ main(int argc, char **argv)
     SimConfig microCfg = cfg;
     microCfg.numCores = 2;
 
-    // The microkernel plus one benchmark per workload class.
+    // The microkernel, one benchmark per workload class, and the two
+    // event-dense full-machine kernels.
     std::vector<std::pair<std::string, KernelDesc>> workloads;
     workloads.emplace_back(
         "latency_micro",
@@ -210,6 +297,11 @@ main(int argc, char **argv)
             workloads.emplace_back(name,
                                    Suite::get(name, scaleDiv).kernel);
         }
+        unsigned denseTrips = std::max(1024u / scaleDiv, 16u);
+        workloads.emplace_back("scatter_walk",
+                               scatterWalkKernel(cfg.numCores, denseTrips));
+        workloads.emplace_back("mlp_stream",
+                               mlpStreamKernel(cfg.numCores, denseTrips));
     }
     if (!filter.empty()) {
         std::vector<std::pair<std::string, KernelDesc>> kept;
@@ -227,13 +319,33 @@ main(int argc, char **argv)
                 "cycles", "naive_s", "fast_s", "naive_kc/s", "fast_kc/s",
                 "speedup", "equal");
 
+    // The gate's performance contract (see the file comment).
+    const double gateMinSpeedup = 1.0;
+    const double gateMinGeomean = 3.0;
+    const unsigned gateAttempts = 4;
+
     std::vector<Measurement> rows;
     std::vector<double> speedups;
     bool allIdentical = true;
     for (const auto &[name, kernel] : workloads) {
-        Measurement m =
-            measure(name, name == "latency_micro" ? microCfg : cfg,
-                    kernel);
+        const SimConfig &wcfg =
+            name == "latency_micro" ? microCfg : cfg;
+        Measurement m = measure(name, wcfg, kernel);
+        // Best-of-N under --gate: every workload is timed twice (a
+        // single slow timing must not fail the gate), and a workload
+        // still below the per-kernel floor earns further retries. Only
+        // the timing can improve — the identity verdict must hold in
+        // every attempt.
+        for (unsigned a = 1;
+             gate && (a < 2 || (a < gateAttempts &&
+                                m.speedup < gateMinSpeedup));
+             ++a) {
+            Measurement again = measure(name, wcfg, kernel);
+            bool identical = m.identical && again.identical;
+            if (again.speedup > m.speedup)
+                m = again;
+            m.identical = identical;
+        }
         std::printf("%-16s %12llu %10.3f %10.3f %12.1f %12.1f %7.2fx %6s\n",
                     m.name.c_str(),
                     static_cast<unsigned long long>(m.cycles),
@@ -256,6 +368,30 @@ main(int argc, char **argv)
                      "FAIL: fast-forward results diverge from the naive "
                      "oracle loop\n");
         return 1;
+    }
+    if (gate) {
+        bool ok = true;
+        for (const Measurement &m : rows) {
+            if (m.speedup < gateMinSpeedup) {
+                std::fprintf(stderr,
+                             "FAIL: %s speedup %.2fx below the %.1fx "
+                             "per-workload floor\n",
+                             m.name.c_str(), m.speedup, gateMinSpeedup);
+                ok = false;
+            }
+        }
+        if (gm < gateMinGeomean) {
+            std::fprintf(stderr,
+                         "FAIL: geomean speedup %.2fx below the %.1fx "
+                         "gate\n",
+                         gm, gateMinGeomean);
+            ok = false;
+        }
+        if (!ok)
+            return 1;
+        std::printf("gate passed: all speedups >= %.1fx, geomean >= "
+                    "%.1fx\n",
+                    gateMinSpeedup, gateMinGeomean);
     }
     return 0;
 }

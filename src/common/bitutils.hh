@@ -9,6 +9,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 namespace mtp {
@@ -139,7 +140,7 @@ class DynBitset
 
     /** Index of the first set bit >= @p from, or npos. */
     std::size_t
-    findFrom(std::size_t from) const
+    findNextSet(std::size_t from) const
     {
         if (from >= bits_)
             return npos;
@@ -153,6 +154,59 @@ class DynBitset
                 return npos;
             word = words_[w];
         }
+    }
+
+    /** Legacy name of findNextSet(). */
+    std::size_t findFrom(std::size_t from) const
+    {
+        return findNextSet(from);
+    }
+
+    /**
+     * Invoke @p fn(baseIndex, word) for every non-zero 64-bit word, in
+     * ascending order; bit b of @p word is entry baseIndex + b. The
+     * word is passed by value, so clearing visited bits during the
+     * scan does not perturb the iteration.
+     */
+    template <typename Fn>
+    void
+    forEachSetWord(Fn &&fn) const
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            if (words_[w])
+                fn(w << 6, words_[w]);
+        }
+    }
+
+    /**
+     * Invoke @p fn(index) for every set bit in ascending order — the
+     * word-at-a-time equivalent of a naive test() loop, visiting the
+     * same indices in the same order. A bool-returning @p fn stops the
+     * scan by returning false (forEachSet then returns false); a void
+     * @p fn visits every set bit. Clearing the bit under the cursor
+     * (e.g. while retiring) is safe: each word is scanned from a copy.
+     */
+    template <typename Fn>
+    bool
+    forEachSet(Fn &&fn) const
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t word = words_[w];
+            while (word) {
+                std::size_t i =
+                    (w << 6) +
+                    static_cast<std::size_t>(std::countr_zero(word));
+                word &= word - 1;
+                if constexpr (std::is_void_v<
+                                  std::invoke_result_t<Fn, std::size_t>>) {
+                    fn(i);
+                } else {
+                    if (!fn(i))
+                        return false;
+                }
+            }
+        }
+        return true;
     }
 
   private:

@@ -206,6 +206,7 @@ setters()
         U64_FIELD(maxCycles),
         U64_FIELD(seed),
         BOOL_FIELD(fastForward),
+        BOOL_FIELD(eventQueue),
     };
     return table;
 }
@@ -331,7 +332,8 @@ SimConfig::dump(std::ostream &os) const
        << "perfectMemory = " << perfectMemory << '\n'
        << "maxCycles = " << maxCycles << '\n'
        << "seed = " << seed << '\n'
-       << "fastForward = " << fastForward << '\n';
+       << "fastForward = " << fastForward << '\n'
+       << "eventQueue = " << eventQueue << '\n';
 }
 
 } // namespace mtp

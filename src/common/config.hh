@@ -203,6 +203,17 @@ struct SimConfig
      * turning this off only makes runs slower.
      */
     bool fastForward = true;
+    /**
+     * Scheduler used when fastForward is on: true (the default) runs
+     * the event-queue loop — components self-schedule their next tick
+     * and only due components are ticked each stepped cycle; false
+     * falls back to the legacy loop that ticks every component every
+     * cycle and polls every nextEventAt() bound between steps. Results
+     * are bit-identical across naive, legacy and queued (DESIGN.md §7);
+     * the knob exists as a triage aid and to keep the legacy semantics
+     * testable.
+     */
+    bool eventQueue = true;
 
     /**
      * Apply a textual "key=value" override (used by bench/example CLIs).

@@ -52,6 +52,7 @@ DramChannel::mapAddr(Addr addr) const
 bool
 DramChannel::insert(MemRequest &&req)
 {
+    ++stateVersion_;
     if (bufferedByAddr_.count(req.addr)) {
         for (auto &queued : buffer_) {
             if (queued.addr == req.addr &&
@@ -157,6 +158,7 @@ DramChannel::tick(Cycle now, std::vector<MemRequest> &completed)
     // Retire finished data transfers.
     for (std::size_t i = 0; i < inService_.size();) {
         if (inService_[i].doneAt <= now) {
+            ++stateVersion_;
             const MemRequest &done = inService_[i].req;
             // Stamped at doneAt, not now: delayed skip-free ticks must
             // not inflate the recorded service time.
@@ -179,6 +181,7 @@ DramChannel::tick(Cycle now, std::vector<MemRequest> &completed)
     int pick = pickRequest(now);
     if (pick < 0)
         return;
+    ++stateVersion_;
 
     MemRequest req = std::move(buffer_[pick]);
     buffer_.erase(buffer_.begin() + pick);

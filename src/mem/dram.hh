@@ -101,6 +101,18 @@ class DramChannel
      */
     Cycle nextEventAt(Cycle now) const;
 
+    /**
+     * Monotonic counter bumped whenever timing-relevant channel state
+     * changes: a request entering the buffer, a request scheduled onto
+     * a bank, or a transfer retired. While it is unchanged, a cached
+     * nextEventAt() bound that still lies in the future remains valid
+     * — the basis of MemSystem's per-channel horizon cache.
+     * upgradeToDemand() deliberately does not bump it: promotion
+     * changes which request is picked, never when the channel next
+     * acts (the bound is type-independent).
+     */
+    std::uint64_t stateVersion() const { return stateVersion_; }
+
     const Counters &counters() const { return counters_; }
 
     /** Export counters under "<prefix>." into @p set. */
@@ -164,6 +176,7 @@ class DramChannel
      */
     std::deque<Cycle> serviceDoneAts_;
     Cycle busFreeAt_ = 0;
+    std::uint64_t stateVersion_ = 0;
     obs::TraceRecorder *tracer_ = nullptr;
     Counters counters_;
 };

@@ -15,8 +15,11 @@ Icnt::send(unsigned dest, MemRequest &&req, Cycle now)
 {
     MTP_ASSERT(dest < pipes_.size(), "Icnt destination ", dest,
                " out of range");
-    pipes_[dest].push_back({std::move(req), now + latency_});
+    Cycle arrival = now + latency_;
+    pipes_[dest].push_back({std::move(req), arrival});
     ++packetsSent_;
+    if (!minDirty_ && arrival < minArrival_)
+        minArrival_ = arrival;
 }
 
 bool
@@ -33,6 +36,8 @@ Icnt::pop(unsigned dest)
     MTP_ASSERT(dest < pipes_.size() && !pipes_[dest].empty(),
                "pop() on empty Icnt pipe ", dest);
     MemRequest req = std::move(pipes_[dest].front().req);
+    if (pipes_[dest].front().readyAt == minArrival_)
+        minDirty_ = true; // the cached minimum may leave the network
     pipes_[dest].pop_front();
     return req;
 }
@@ -71,12 +76,24 @@ Icnt::totalInFlight() const
 Cycle
 Icnt::nextArrivalAt() const
 {
-    Cycle e = invalidCycle;
-    for (const auto &p : pipes_) {
-        if (!p.empty() && p.front().readyAt < e)
-            e = p.front().readyAt;
+    if (minDirty_) {
+        minArrival_ = invalidCycle;
+        for (const auto &p : pipes_) {
+            if (!p.empty() && p.front().readyAt < minArrival_)
+                minArrival_ = p.front().readyAt;
+        }
+        minDirty_ = false;
     }
-    return e;
+#if MTP_SLOW_CHECKS
+    Cycle scan = invalidCycle;
+    for (const auto &p : pipes_) {
+        if (!p.empty() && p.front().readyAt < scan)
+            scan = p.front().readyAt;
+    }
+    MTP_ASSERT(scan == minArrival_,
+               "cached Icnt arrival minimum out of sync");
+#endif
+    return minArrival_;
 }
 
 void

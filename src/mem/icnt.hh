@@ -60,6 +60,9 @@ class Icnt
      * when the network is empty. Pipes are FIFO with a fixed latency,
      * so each pipe's front packet is its earliest; this is the
      * network's contribution to the simulation's next-event bound.
+     * O(1) amortized: sends keep a cached minimum up to date (arrival
+     * times are monotone per pipe), and only popping the packet that
+     * held the minimum forces an O(pipes) rescan.
      */
     Cycle nextArrivalAt() const;
 
@@ -81,6 +84,9 @@ class Icnt
     unsigned latency_;
     std::vector<std::deque<Timed>> pipes_;
     std::uint64_t packetsSent_ = 0;
+    /** Cached earliest arrival; recomputed lazily when dirty. */
+    mutable Cycle minArrival_ = invalidCycle;
+    mutable bool minDirty_ = false;
 };
 
 } // namespace mtp

@@ -31,6 +31,7 @@ MemSystem::MemSystem(const SimConfig &cfg)
     unsigned ports = (numCores_ + cfg.icntCoresPerPort - 1) /
                      cfg.icntCoresPerPort;
     portRR_.assign(ports, 0);
+    chanHorizons_.resize(cfg.dramChannels);
 }
 
 void
@@ -108,9 +109,9 @@ MemSystem::injectFromPort(unsigned port, Cycle now)
 }
 
 void
-MemSystem::tick(Cycle now)
+MemSystem::deliverRequests(Cycle now)
 {
-    // 1. Deliver request packets into controller buffers.
+    // Deliver request packets into controller buffers.
     for (unsigned ch = 0; ch < channels_.size(); ++ch) {
         while (reqNet_.frontReady(ch, now) && !channels_[ch]->bufferFull()) {
             MemRequest arrived = reqNet_.pop(ch);
@@ -132,36 +133,41 @@ MemSystem::tick(Cycle now)
             --inFlightToChannel_[ch];
         }
     }
+}
 
-    // 2. Advance DRAM; route completions toward their sharer cores.
-    for (auto &channel : channels_) {
-        completedScratch_.clear();
-        channel->tick(now, completedScratch_);
-        for (auto &req : completedScratch_) {
-            if (req.type == ReqType::DemandStore) {
-                // Stores complete without a response.
-                MTP_ASSERT(inTransit_ > 0, "in-transit underflow on store");
-                --inTransit_;
-                continue;
-            }
-            // One response packet per sharer core.
-            inTransit_ += req.sharers.size() - 1;
-            for (std::size_t i = 1; i < req.sharers.size(); ++i) {
-                MemRequest copy = req;
-                respNet_.send(req.sharers[i], std::move(copy), now);
-            }
-            CoreId first = req.sharers.front();
-            respNet_.send(first, std::move(req), now);
+void
+MemSystem::tickChannel(unsigned ch, Cycle now)
+{
+    // Advance one channel; route completions toward their sharer cores.
+    DramChannel &channel = *channels_[ch];
+    completedScratch_.clear();
+    channel.tick(now, completedScratch_);
+    for (auto &req : completedScratch_) {
+        if (req.type == ReqType::DemandStore) {
+            // Stores complete without a response.
+            MTP_ASSERT(inTransit_ > 0, "in-transit underflow on store");
+            --inTransit_;
+            continue;
         }
+        // One response packet per sharer core.
+        inTransit_ += req.sharers.size() - 1;
+        for (std::size_t i = 1; i < req.sharers.size(); ++i) {
+            MemRequest copy = req;
+            respNet_.send(req.sharers[i], std::move(copy), now);
+        }
+        CoreId first = req.sharers.front();
+        respNet_.send(first, std::move(req), now);
     }
+}
 
-    // 3. Inject from MRQs: at most one request per port per cycle.
-    for (unsigned port = 0; port < portRR_.size(); ++port)
-        injectFromPort(port, now);
-
-    // 4. Deliver responses to cores (MSHR retirement happens there).
+void
+MemSystem::deliverResponses(Cycle now)
+{
+    // Deliver responses to cores (MSHR retirement happens there).
     for (CoreId core = 0; core < numCores_; ++core) {
         while (respNet_.frontReady(core, now)) {
+            if (completions_[core].empty())
+                deliveredTo_.push_back(core);
             completions_[core].push_back(respNet_.pop(core));
             MTP_ASSERT(inTransit_ > 0, "in-transit underflow on response");
             --inTransit_;
@@ -176,6 +182,47 @@ MemSystem::tick(Cycle now)
 #endif
         }
     }
+}
+
+void
+MemSystem::tick(Cycle now)
+{
+    deliveredTo_.clear();
+    deliverRequests(now);
+    for (unsigned ch = 0; ch < channels_.size(); ++ch)
+        tickChannel(ch, now);
+    for (unsigned port = 0; port < portRR_.size(); ++port)
+        injectFromPort(port, now);
+    deliverResponses(now);
+}
+
+void
+MemSystem::tickQueued(Cycle now)
+{
+    deliveredTo_.clear();
+    // Request delivery only when a packet's arrival time has passed; a
+    // delivery blocked on a full controller buffer keeps the arrival
+    // bound at or below now, so the phase re-runs every cycle until
+    // the packet lands (as the ungated loop would).
+    if (reqNet_.nextArrivalAt() <= now)
+        deliverRequests(now);
+    // Channels only when their cached horizon is due. A future horizon
+    // proves the ungated tick would neither retire nor schedule (the
+    // bound is never late), so skipping it is a no-op. deliverRequests
+    // ran first: an insert bumps the state version and invalidates the
+    // cache before this check, exactly like the ungated phase order.
+    for (unsigned ch = 0; ch < channels_.size(); ++ch) {
+        if (channelHorizonAt(ch, now) <= now)
+            tickChannel(ch, now);
+    }
+    // Injection only when some MRQ is occupied; the ungated port loop
+    // is a pure no-op otherwise (empty MRQs count no stalls).
+    if (mrqOccupancy_ > 0) {
+        for (unsigned port = 0; port < portRR_.size(); ++port)
+            injectFromPort(port, now);
+    }
+    if (respNet_.nextArrivalAt() <= now)
+        deliverResponses(now);
 }
 
 const std::vector<MemRequest> &
@@ -219,6 +266,53 @@ MemSystem::nextEventAt(Cycle now) const
         return now;
     for (const auto &channel : channels_) {
         Cycle c = channel->nextEventAt(now);
+        if (c <= now)
+            return now;
+        if (c < e)
+            e = c;
+    }
+    return e;
+}
+
+Cycle
+MemSystem::channelHorizonAt(unsigned ch, Cycle now) const
+{
+    ChanHorizon &cc = chanHorizons_[ch];
+    std::uint64_t v = channels_[ch]->stateVersion();
+    // A version match alone validates the cache, even when the cached
+    // bound is due: a DRAM channel's bound is exact (bank busyUntil and
+    // service doneAt cycles, not estimates), and a due channel always
+    // acts when ticked — retiring or scheduling — which bumps the
+    // version. A stale due bound therefore cannot survive a tick, and
+    // an untouched channel's bound cannot move.
+    if (cc.version == v) {
+        ++horizonHits_;
+#if MTP_SLOW_CHECKS
+        MTP_ASSERT(cc.horizon == channels_[ch]->nextEventAt(now),
+                   "stale channel horizon served from cache");
+#endif
+        return cc.horizon;
+    }
+    ++horizonMisses_;
+    cc.version = v;
+    cc.horizon = channels_[ch]->nextEventAt(now);
+    return cc.horizon;
+}
+
+Cycle
+MemSystem::nextSelfEventAt(Cycle now) const
+{
+    // Occupied MRQs arbitrate for injection every cycle: no skipping.
+    // Unlike nextEventAt(), pending completions do not pin the bound —
+    // the event-queue loop arms the receiving cores directly and each
+    // drains its list on its own next tick.
+    if (mrqOccupancy_ > 0)
+        return now;
+    Cycle e = std::min(reqNet_.nextArrivalAt(), respNet_.nextArrivalAt());
+    if (e <= now)
+        return now;
+    for (unsigned ch = 0; ch < channels_.size(); ++ch) {
+        Cycle c = channelHorizonAt(ch, now);
         if (c <= now)
             return now;
         if (c < e)

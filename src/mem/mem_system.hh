@@ -48,6 +48,33 @@ class MemSystem
     void tick(Cycle now);
 
     /**
+     * Event-queue variant of tick(): identical observable behaviour,
+     * but each phase runs only when it can act — network deliveries
+     * are gated on the cached earliest-arrival bounds, DRAM channels
+     * on their cached per-channel horizons (invalidated by
+     * DramChannel::stateVersion()), and injection on MRQ occupancy. A
+     * skipped phase is provably a no-op (it would neither move a
+     * request nor touch a counter), so results stay bit-identical with
+     * tick(); the naive and legacy loops keep calling tick() as the
+     * oracle.
+     */
+    void tickQueued(Cycle now);
+
+    /**
+     * Cores whose completion list went non-empty during the last
+     * tick()/tickQueued(). The event-queue loop arms exactly these
+     * cores for the next cycle (a delivered response must be drained
+     * one cycle after delivery, as in the naive loop).
+     */
+    const std::vector<CoreId> &deliveredCores() const
+    {
+        return deliveredTo_;
+    }
+
+    /** Requests currently waiting in core MRQs. */
+    std::uint64_t mrqOccupancy() const { return mrqOccupancy_; }
+
+    /**
      * Responses delivered to @p core and not yet consumed. The core
      * drains this list every cycle and then calls clearCompletions();
      * routing consumption through that call keeps the pending-response
@@ -89,6 +116,22 @@ class MemSystem
      */
     Cycle nextEventAt(Cycle now) const;
 
+    /**
+     * Self-scheduling bound for the event-queue loop: like
+     * nextEventAt() but without the pending-completion pin — delivered
+     * completions wake their core directly (deliveredCores()), so they
+     * are the core's obligation, not the memory system's. Non-empty
+     * MRQs still pin the bound to @p now (they arbitrate for injection
+     * every cycle). Uses the per-channel horizon cache.
+     */
+    Cycle nextSelfEventAt(Cycle now) const;
+
+    /** Horizon-cache hits (per-channel bound served from cache). */
+    std::uint64_t horizonHits() const { return horizonHits_; }
+
+    /** Horizon-cache misses (per-channel bound recomputed). */
+    std::uint64_t horizonMisses() const { return horizonMisses_; }
+
     /** Total bytes moved over all DRAM data buses. */
     std::uint64_t dramBytes() const;
 
@@ -114,6 +157,20 @@ class MemSystem
     /** Try to inject one request from one of a port's cores. */
     void injectFromPort(unsigned port, Cycle now);
 
+    // tick() phases, shared verbatim by the gated tickQueued().
+    void deliverRequests(Cycle now);
+    void tickChannel(unsigned ch, Cycle now);
+    void deliverResponses(Cycle now);
+
+    /**
+     * Cached nextEventAt() of channel @p ch, recomputed only when the
+     * channel's state version moved. A cached future bound proves the
+     * channel need not tick now; a cached due bound is still exact
+     * because every action on the channel bumps the version (see the
+     * exactness argument at the cache-hit test).
+     */
+    Cycle channelHorizonAt(unsigned ch, Cycle now) const;
+
     SimConfig cfg_;
     unsigned numCores_;
     std::vector<std::unique_ptr<Mrq>> mrqs_;
@@ -124,6 +181,17 @@ class MemSystem
     std::vector<unsigned> portRR_; //!< per-port round-robin pointer
     std::vector<std::vector<MemRequest>> completions_;
     std::vector<MemRequest> completedScratch_;
+    std::vector<CoreId> deliveredTo_; //!< cores woken by the last tick
+
+    /** Per-channel horizon cache entry (see channelHorizonAt()). */
+    struct ChanHorizon
+    {
+        std::uint64_t version = ~0ULL;
+        Cycle horizon = 0;
+    };
+    mutable std::vector<ChanHorizon> chanHorizons_;
+    mutable std::uint64_t horizonHits_ = 0;
+    mutable std::uint64_t horizonMisses_ = 0;
 
     /**
      * Requests currently in an MRQ, a network, or a channel (buffered,

@@ -74,7 +74,7 @@ Core::dispatchBlock(BlockId block)
 {
     MTP_ASSERT(hasBlockCapacity(), "dispatch to a full core");
     // Lowest free slot, as the original linear scan picked.
-    std::size_t found = freeBlockSlots_.findFrom(0);
+    std::size_t found = freeBlockSlots_.findNextSet(0);
     MTP_ASSERT(found != DynBitset::npos && found < maxBlocks_,
                "no free block slot despite capacity");
     auto slot = static_cast<unsigned>(found);
@@ -450,14 +450,14 @@ Core::issue(Cycle now)
         lastIssued_ = idx;
         return true;
     };
-    for (std::size_t idx = issuable_.findFrom(first);
-         idx != DynBitset::npos; idx = issuable_.findFrom(idx + 1)) {
+    for (std::size_t idx = issuable_.findNextSet(first);
+         idx != DynBitset::npos; idx = issuable_.findNextSet(idx + 1)) {
         if (tryIssue(static_cast<std::uint32_t>(idx)))
             return;
     }
-    for (std::size_t idx = issuable_.findFrom(0);
+    for (std::size_t idx = issuable_.findNextSet(0);
          idx != DynBitset::npos && idx < first;
-         idx = issuable_.findFrom(idx + 1)) {
+         idx = issuable_.findNextSet(idx + 1)) {
         if (tryIssue(static_cast<std::uint32_t>(idx)))
             return;
     }
@@ -471,13 +471,15 @@ Core::retireWarps()
         MTP_ASSERT(retirable_.test(i) == warps_[i].retirable(),
                    "retirable bit out of sync for warp ", i);
 #endif
-    for (std::size_t found = retirable_.findFrom(0);
-         found != DynBitset::npos; found = retirable_.findFrom(found + 1)) {
+    // Word-at-a-time scan; clearing the visited bit is safe (each word
+    // is iterated from a copy), and the ascending order matches the
+    // original findNextSet() loop.
+    retirable_.forEachSet([&](std::size_t found) {
         auto idx = static_cast<std::uint32_t>(found);
         Warp &warp = warps_[idx];
         MTP_ASSERT(warp.retirable(), "retirable bit on a live warp");
         if (lsu_.valid && lsu_.warpIdx == idx)
-            continue; // trailing stores/prefetches still at the LSU
+            return; // trailing stores/prefetches still at the LSU
         warp.active = false;
         retirable_.clear(idx);
         issuable_.clear(idx);
@@ -492,7 +494,7 @@ Core::retireWarps()
             freeBlockSlots_.set(slot);
             ++counters_.blocksCompleted;
         }
-    }
+    });
 }
 
 Cycle
@@ -505,23 +507,31 @@ Core::nextEventAt(Cycle now) const
     Cycle e = invalidCycle;
     if (periodObservable_)
         e = nextPeriodAt_;
-    if (e > now && issuable_.any()) {
+    if (e > now) {
         // Earliest possible issue: execution unit free AND some
-        // issuable warp past its readyAt.
+        // issuable warp past its readyAt, i.e. max(execBusyUntil_,
+        // min readyAt). Any readyAt at or below the floor
+        // max(now, execBusyUntil_) pins the result to the floor
+        // exactly (min_ready <= floor clamps the max to it), so the
+        // word-at-a-time scan exits early on the first such warp —
+        // same return value as the exhaustive minimum.
+        Cycle floor = std::max(now, execBusyUntil_);
         Cycle min_ready = invalidCycle;
-        for (std::size_t idx = issuable_.findFrom(0);
-             idx != DynBitset::npos; idx = issuable_.findFrom(idx + 1)) {
+        bool pinned = !issuable_.forEachSet([&](std::size_t idx) {
             Cycle r = warps_[idx].readyAt;
-            if (r <= now) {
-                min_ready = now;
-                break;
-            }
+            if (r <= floor)
+                return false;
             if (r < min_ready)
                 min_ready = r;
+            return true;
+        });
+        if (pinned)
+            min_ready = floor;
+        if (min_ready != invalidCycle) {
+            Cycle at = std::max(execBusyUntil_, min_ready);
+            if (at < e)
+                e = at;
         }
-        Cycle at = std::max(execBusyUntil_, min_ready);
-        if (at < e)
-            e = at;
     }
     return e <= now ? now : e;
 }
@@ -601,16 +611,18 @@ Core::classifyStall(Cycle now) const
     // scheduler's scan order).
     std::uint32_t blame = noBlame;
     Cycle min_ready = invalidCycle;
-    for (std::size_t idx = issuable_.findFrom(0); idx != DynBitset::npos;
-         idx = issuable_.findFrom(idx + 1)) {
+    bool lsu_pinned = !issuable_.forEachSet([&](std::size_t idx) {
         Cycle r = warps_[idx].readyAt;
         if (r <= now)
-            return {CycleCat::StallMem, noBlame};
+            return false; // ready mem inst behind the busy LSU
         if (r < min_ready) {
             min_ready = r;
             blame = static_cast<std::uint32_t>(idx);
         }
-    }
+        return true;
+    });
+    if (lsu_pinned)
+        return {CycleCat::StallMem, noBlame};
     return {warps_[blame].branchWait ? CycleCat::StallFetchBranch
                                      : CycleCat::StallOperand,
             blame};
@@ -662,15 +674,13 @@ Core::accountSkip(Cycle from, Cycle to)
             // of the window waits on the earliest-ready issuable warp.
             std::uint32_t blame = noBlame;
             Cycle min_ready = invalidCycle;
-            for (std::size_t idx = issuable_.findFrom(0);
-                 idx != DynBitset::npos;
-                 idx = issuable_.findFrom(idx + 1)) {
+            issuable_.forEachSet([&](std::size_t idx) {
                 Cycle r = warps_[idx].readyAt;
                 if (r < min_ready) {
                     min_ready = r;
                     blame = static_cast<std::uint32_t>(idx);
                 }
-            }
+            });
             MTP_ASSERT(min_ready >= to,
                        "skipped past a ready warp (event-horizon bug)");
             CycleCat cat = warps_[blame].branchWait

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Scheduling infrastructure for the event-queue cycle loop (DESIGN.md
+ * §7): an indexed priority structure over the GPU's components plus
+ * the backoff policy the legacy polling loop uses between failed skip
+ * attempts.
+ */
+
+#ifndef MTP_SIM_EVENT_QUEUE_HH
+#define MTP_SIM_EVENT_QUEUE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace mtp {
+
+/**
+ * Indexed min-priority queue over a fixed, small set of component ids,
+ * keyed by the cycle at which each component next needs to tick
+ * (invalidCycle = parked). Components re-arm themselves after every
+ * tick and are armed earlier by cross-component wakeups (a completion
+ * delivery, a block dispatch, a freed occupancy slot).
+ *
+ * The id universe is tiny (cores + mem + dispatcher + sampler, a few
+ * dozen entries), and in event-dense phases most components re-arm
+ * every cycle — a binary heap would churn O(log n) per re-arm for
+ * nothing. Keys therefore live in a flat array (O(1) arm, O(1) key
+ * lookup for due checks) with a lazily maintained minimum: arm()
+ * keeps the cached min when keys only move down, and earliest() pays
+ * one O(n) rescan only after the current minimum was re-armed later —
+ * exactly once per stepped cycle in the dense case.
+ */
+class EventQueue
+{
+  public:
+    /** Reset to @p n components, all armed at cycle 0. */
+    void
+    reset(std::size_t n)
+    {
+        keys_.assign(n, 0);
+        minKey_ = 0;
+        minDirty_ = false;
+        pushes_ = 0;
+        pops_ = 0;
+    }
+
+    std::size_t size() const { return keys_.size(); }
+
+    /** Cycle component @p id is armed for (invalidCycle = parked). */
+    Cycle key(std::size_t id) const { return keys_[id]; }
+
+    /** Arm component @p id for cycle @p at (replacing its key). */
+    void
+    arm(std::size_t id, Cycle at)
+    {
+        Cycle old = keys_[id];
+        if (old == at)
+            return;
+        keys_[id] = at;
+        ++pushes_;
+        if (at < minKey_)
+            minKey_ = at;
+        else if (old <= minKey_)
+            minDirty_ = true; // the minimum may have moved later
+    }
+
+    /** Arm component @p id no later than cycle @p at. */
+    void
+    armEarlier(std::size_t id, Cycle at)
+    {
+        if (at < keys_[id])
+            arm(id, at);
+    }
+
+    /** Record that a due component was processed (stats only). */
+    void notePop() { ++pops_; }
+
+    /** Earliest armed cycle over all components (invalidCycle if all
+     *  parked). */
+    Cycle
+    earliest() const
+    {
+        if (minDirty_) {
+            minKey_ = invalidCycle;
+            for (Cycle k : keys_)
+                minKey_ = std::min(minKey_, k);
+            minDirty_ = false;
+        }
+#if MTP_SLOW_CHECKS
+        Cycle scan = invalidCycle;
+        for (Cycle k : keys_)
+            scan = std::min(scan, k);
+        MTP_ASSERT(scan == minKey_,
+                   "EventQueue cached minimum out of sync");
+#endif
+        return minKey_;
+    }
+
+    /** Key updates that changed a component's armed cycle. */
+    std::uint64_t pushes() const { return pushes_; }
+
+    /** Due components processed. */
+    std::uint64_t pops() const { return pops_; }
+
+  private:
+    std::vector<Cycle> keys_;
+    mutable Cycle minKey_ = invalidCycle;
+    mutable bool minDirty_ = false;
+    std::uint64_t pushes_ = 0;
+    std::uint64_t pops_ = 0;
+};
+
+/**
+ * Exponential backoff between failed skip attempts of the legacy
+ * polling loop: after a failed attempt (the event bound landed on the
+ * very next cycle) the loop steps a growing number of cycles before
+ * re-evaluating the bound, so event-dense phases don't pay the O(n)
+ * poll every cycle. The exponent is capped — an unbounded
+ * `1u << failures` shifts past the width of unsigned on long dense
+ * runs, which is undefined behaviour — and stepping through skippable
+ * cycles is exactly what the naive loop does, so backing off can never
+ * change results, only forgo some speedup.
+ */
+class SkipBackoff
+{
+  public:
+    /** Largest exponent: pauses cap at 2^maxExponent cycles. */
+    static constexpr unsigned maxExponent = 3;
+
+    /**
+     * @return true when the loop should evaluate the event bound this
+     * cycle; false consumes one cycle of the current pause.
+     */
+    bool
+    shouldAttempt()
+    {
+        if (pause_ > 0) {
+            --pause_;
+            return false;
+        }
+        return true;
+    }
+
+    /** A skip succeeded: reset the pause schedule. */
+    void
+    noteSuccess()
+    {
+        failures_ = 0;
+        pause_ = 0;
+    }
+
+    /** A skip attempt failed: back off exponentially (capped). */
+    void
+    noteFailure()
+    {
+        failures_ = std::min(failures_ + 1, maxExponent);
+        pause_ = 1u << failures_;
+    }
+
+    /** Cycles left in the current pause (exposed for tests). */
+    unsigned pause() const { return pause_; }
+
+  private:
+    unsigned failures_ = 0;
+    unsigned pause_ = 0;
+};
+
+} // namespace mtp
+
+#endif // MTP_SIM_EVENT_QUEUE_HH

@@ -173,6 +173,7 @@ Gpu::attachObserver(obs::Observer *obs)
 void
 Gpu::dispatchBlocks()
 {
+    dispatchedScratch_.clear();
     if (!cfg_.dispatchContiguous) {
         // Round-robin ablation: hand the globally next block to each
         // core with a free slot. The scan origin rotates every cycle —
@@ -188,6 +189,7 @@ Gpu::dispatchBlocks()
                 cores_[c]->dispatchBlock(nextBlockOfCore_[0]++);
                 MTP_ASSERT(pendingBlocks_ > 0, "pending-block underflow");
                 --pendingBlocks_;
+                dispatchedScratch_.push_back(c);
             }
         }
         rrStartCore_ = (rrStartCore_ + 1) % n;
@@ -203,16 +205,40 @@ Gpu::dispatchBlocks()
             cores_[c]->dispatchBlock(nextBlockOfCore_[c]++);
             MTP_ASSERT(pendingBlocks_ > 0, "pending-block underflow");
             --pendingBlocks_;
+            dispatchedScratch_.push_back(c);
         }
     }
+}
+
+bool
+Gpu::blocksPendingFor(CoreId c) const
+{
+    // In round-robin mode every core draws from the shared cursor.
+    return cfg_.dispatchContiguous
+               ? nextBlockOfCore_[c] < endBlockOfCore_[c]
+               : pendingBlocks_ > 0;
+}
+
+bool
+Gpu::dispatchPossible() const
+{
+    if (pendingBlocks_ == 0)
+        return false;
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        if (blocksPendingFor(c) && cores_[c]->hasBlockCapacity())
+            return true;
+    }
+    return false;
 }
 
 void
 Gpu::step()
 {
+    ++sched_.cyclesStepped;
     dispatchBlocks();
     for (auto &core : cores_) {
         bool was_busy = !core->idle();
+        ++sched_.coreTicks;
         core->tick(now_);
         if (was_busy && core->idle()) {
             MTP_ASSERT(busyCores_ > 0, "busy-core underflow");
@@ -306,21 +332,14 @@ Gpu::nextEventAt() const
 }
 
 void
-Gpu::skipTo(Cycle target)
+Gpu::bulkWarpSamples(Cycle from, Cycle to)
 {
-    MTP_ASSERT(target > now_, "skipTo() not moving forward");
-#if MTP_SLOW_CHECKS && MTP_OBS_ENABLED
-    if (obs_)
-        MTP_ASSERT(target <= obs_->sampler().nextSampleAt(),
-                   "cycle skip would jump a sample boundary");
-#endif
-    // Account for the active-warp samples the skipped per-cycle loop
-    // would have taken at each (cycle & 127) == 0 in [now_, target):
-    // no component acts in the window, so every sample sees the
-    // current state.
-    Cycle first = (now_ + 127) & ~Cycle{127};
-    if (first < target) {
-        std::uint64_t m = (target - 1 - first) / 128 + 1;
+    // The active-warp samples the skipped per-cycle loop would have
+    // taken at each (cycle & 127) == 0 in [from, to): no component
+    // acts in the window, so every sample sees the current state.
+    Cycle first = (from + 127) & ~Cycle{127};
+    if (first < to) {
+        std::uint64_t m = (to - 1 - first) / 128 + 1;
         for (const auto &core : cores_) {
             unsigned a = core->activeWarps();
             if (a > 0) {
@@ -329,6 +348,18 @@ Gpu::skipTo(Cycle target)
             }
         }
     }
+}
+
+void
+Gpu::skipTo(Cycle target)
+{
+    MTP_ASSERT(target > now_, "skipTo() not moving forward");
+#if MTP_SLOW_CHECKS && MTP_OBS_ENABLED
+    if (obs_)
+        MTP_ASSERT(target <= obs_->sampler().nextSampleAt(),
+                   "cycle skip would jump a sample boundary");
+#endif
+    bulkWarpSamples(now_, target);
     if (!cfg_.dispatchContiguous) {
         // The round-robin dispatch origin rotates every cycle, even
         // when nothing dispatches.
@@ -347,42 +378,204 @@ Gpu::skipTo(Cycle target)
 RunResult
 Gpu::run()
 {
-    // Failed skip attempts (an event due this very cycle) back off
-    // exponentially so event-dense phases don't pay the bound
-    // computation every cycle. Stepping through skippable cycles is
-    // exactly what the naive loop does, so attempting less often can
-    // never change results — only forgo some speedup.
-    unsigned backoff = 0;
-    unsigned failedAttempts = 0;
-    while (!done()) {
-        if (now_ >= cfg_.maxCycles)
-            MTP_FATAL("simulation of '", kernel_.name, "' exceeded ",
-                      cfg_.maxCycles, " cycles; likely deadlock or ",
-                      "an unreasonable configuration");
-        step();
-        if (cfg_.fastForward && !done()) {
-            if (backoff > 0) {
-                --backoff;
-                continue;
-            }
-            // Skip cycles in which no component can act. Capping at
-            // maxCycles keeps the deadlock diagnostic identical.
-            Cycle target = std::min(nextEventAt(), cfg_.maxCycles);
-            if (target > now_) {
-                skipTo(target);
-                failedAttempts = 0;
-            } else {
-                failedAttempts = std::min(failedAttempts + 1, 3u);
-                backoff = 1u << failedAttempts;
-            }
-        }
-    }
+    if (!cfg_.fastForward)
+        runNaive();
+    else if (cfg_.eventQueue)
+        runQueued();
+    else
+        runLegacy();
     RunResult result = summarize();
 #if MTP_OBS_ENABLED
     if (obs_)
         obs_->finish();
 #endif
     return result;
+}
+
+void
+Gpu::runNaive()
+{
+    while (!done()) {
+        if (now_ >= cfg_.maxCycles)
+            MTP_FATAL("simulation of '", kernel_.name, "' exceeded ",
+                      cfg_.maxCycles, " cycles; likely deadlock or ",
+                      "an unreasonable configuration");
+        step();
+    }
+}
+
+void
+Gpu::runLegacy()
+{
+    // Failed skip attempts (an event due this very cycle) back off
+    // exponentially so event-dense phases don't pay the bound
+    // computation every cycle. Stepping through skippable cycles is
+    // exactly what the naive loop does, so attempting less often can
+    // never change results — only forgo some speedup.
+    SkipBackoff backoff;
+    while (!done()) {
+        if (now_ >= cfg_.maxCycles)
+            MTP_FATAL("simulation of '", kernel_.name, "' exceeded ",
+                      cfg_.maxCycles, " cycles; likely deadlock or ",
+                      "an unreasonable configuration");
+        step();
+        if (!done() && backoff.shouldAttempt()) {
+            // Skip cycles in which no component can act. Capping at
+            // maxCycles keeps the deadlock diagnostic identical.
+            ++sched_.skipAttempts;
+            Cycle target = std::min(nextEventAt(), cfg_.maxCycles);
+            if (target > now_) {
+                sched_.cyclesSkipped += target - now_;
+                ++sched_.skipSuccesses;
+                skipTo(target);
+                backoff.noteSuccess();
+            } else {
+                backoff.noteFailure();
+            }
+        }
+    }
+}
+
+void
+Gpu::runQueued()
+{
+    const auto n = static_cast<unsigned>(cores_.size());
+    // Queue slots: one per core, then the memory system, the block
+    // dispatcher, and the observer sampler.
+    const std::size_t memId = n;
+    const std::size_t dispatchId = n + 1;
+    const std::size_t samplerId = n + 2;
+    queue_.reset(n + 3); // everything due at cycle 0
+    coreSettledTo_.assign(n, 0);
+    rrSyncedAt_ = 0;
+    queue_.arm(samplerId, invalidCycle);
+#if MTP_OBS_ENABLED
+    if (obs_)
+        queue_.arm(samplerId, obs_->sampler().nextSampleAt());
+#endif
+    while (!done()) {
+        if (now_ >= cfg_.maxCycles)
+            MTP_FATAL("simulation of '", kernel_.name, "' exceeded ",
+                      cfg_.maxCycles, " cycles; likely deadlock or ",
+                      "an unreasonable configuration");
+        const Cycle t = now_;
+        ++sched_.cyclesStepped;
+#if MTP_SLOW_CHECKS
+        // Parked components must be provably non-actionable: ticking
+        // them would be a no-op, which is exactly why the queued loop
+        // may leave them unticked.
+        for (CoreId c = 0; c < n; ++c) {
+            if (queue_.key(c) > t)
+                MTP_ASSERT(cores_[c]->nextEventAt(t) > t &&
+                               mem_->completions(c).empty(),
+                           "parked core ", c, " is actionable at ", t);
+        }
+        if (queue_.key(memId) > t)
+            MTP_ASSERT(mem_->mrqOccupancy() == 0 &&
+                           mem_->nextSelfEventAt(t) > t,
+                       "parked memory system is actionable at ", t);
+        if (queue_.key(dispatchId) > t)
+            MTP_ASSERT(!dispatchPossible(),
+                       "parked dispatcher is actionable at ", t);
+#endif
+        // Phase order matches step(): dispatch, cores in ascending id,
+        // memory, warp sample, observer sample.
+        if (queue_.key(dispatchId) <= t) {
+            queue_.notePop();
+            // Catch the round-robin origin up with the cycles the
+            // dispatcher sat parked (it rotates once per cycle even
+            // when nothing dispatches).
+            if (!cfg_.dispatchContiguous && t > rrSyncedAt_)
+                rrStartCore_ = static_cast<unsigned>(
+                    (rrStartCore_ + (t - rrSyncedAt_)) % n);
+            dispatchBlocks();
+            rrSyncedAt_ = t + 1; // dispatchBlocks rotated once itself
+            for (CoreId c : dispatchedScratch_)
+                queue_.armEarlier(c, t);
+            queue_.arm(dispatchId,
+                       dispatchPossible() ? t + 1 : invalidCycle);
+        }
+        for (CoreId c = 0; c < n; ++c) {
+            if (queue_.key(c) > t)
+                continue;
+            queue_.notePop();
+            Core &core = *cores_[c];
+            // Settle the parked window first: its cycles carry the
+            // same stall attribution a skipTo() would have applied.
+            if (coreSettledTo_[c] < t)
+                core.accountSkip(coreSettledTo_[c], t);
+            bool was_busy = !core.idle();
+            bool had_capacity = core.hasBlockCapacity();
+            ++sched_.coreTicks;
+            core.tick(t);
+            if (was_busy && core.idle()) {
+                MTP_ASSERT(busyCores_ > 0, "busy-core underflow");
+                --busyCores_;
+            }
+            coreSettledTo_[c] = t + 1;
+            queue_.arm(c, core.nextEventAt(t + 1));
+            // Freeing an occupancy slot revives the dispatcher.
+            if (!had_capacity && core.hasBlockCapacity() &&
+                blocksPendingFor(c))
+                queue_.armEarlier(dispatchId, t + 1);
+        }
+        // Cores run before memory within a cycle, so a request pushed
+        // into an MRQ this very cycle is visible to the occupancy
+        // check — no wake edge needed for core -> mem.
+        if (queue_.key(memId) <= t || mem_->mrqOccupancy() > 0) {
+            queue_.notePop();
+            mem_->tickQueued(t);
+            for (CoreId c : mem_->deliveredCores())
+                queue_.armEarlier(c, t + 1);
+            queue_.arm(memId, mem_->nextSelfEventAt(t + 1));
+        }
+        if ((t & 127) == 0) {
+            for (auto &core : cores_) {
+                unsigned a = core->activeWarps();
+                if (a > 0) {
+                    activeWarpSum_ += a;
+                    ++activeWarpSamples_;
+                }
+            }
+        }
+#if MTP_OBS_ENABLED
+        if (obs_ && queue_.key(samplerId) <= t) {
+            queue_.notePop();
+            // Sample rows read per-core cycle-accounting counters, which
+            // this loop attributes lazily; settle every parked core's
+            // window through this cycle (the attribution is the same
+            // split its no-op ticks would have recorded) so the row
+            // matches the naive loop's end-of-cycle state.
+            for (CoreId c = 0; c < n; ++c) {
+                if (coreSettledTo_[c] <= t) {
+                    cores_[c]->accountSkip(coreSettledTo_[c], t + 1);
+                    coreSettledTo_[c] = t + 1;
+                }
+            }
+            obs_->sampler().sample(t);
+            queue_.arm(samplerId, obs_->sampler().nextSampleAt());
+        }
+#endif
+        now_ = t + 1;
+        if (done())
+            break;
+        // Jump straight to the earliest armed event. Capping at
+        // maxCycles keeps the deadlock diagnostic identical.
+        ++sched_.skipAttempts;
+        Cycle next = queue_.earliest();
+        Cycle target = std::min(next, cfg_.maxCycles);
+        if (target > now_) {
+            bulkWarpSamples(now_, target);
+            sched_.cyclesSkipped += target - now_;
+            ++sched_.skipSuccesses;
+            now_ = target;
+        }
+    }
+    // Settle every core's trailing parked window so summarize()'s
+    // cycle-accounting verification sees all elapsed cycles attributed.
+    for (CoreId c = 0; c < n; ++c)
+        if (coreSettledTo_[c] < now_)
+            cores_[c]->accountSkip(coreSettledTo_[c], now_);
 }
 
 RunResult
@@ -449,6 +642,40 @@ Gpu::summarize() const
     for (CoreId c = 0; c < cores_.size(); ++c)
         cores_[c]->exportStats(r.stats, "core" + std::to_string(c));
     mem_->exportStats(r.stats, "mem");
+
+    // Scheduler introspection: how the host simulated the run. Kept in
+    // the separate RunResult::sched set — see its doc comment.
+    r.sched.add("sim.sched.cyclesStepped",
+                static_cast<double>(sched_.cyclesStepped),
+                "cycles executed by the per-cycle loop");
+    r.sched.add("sim.sched.cyclesSkipped",
+                static_cast<double>(sched_.cyclesSkipped),
+                "cycles fast-forwarded without stepping");
+    r.sched.add("sim.sched.skipAttempts",
+                static_cast<double>(sched_.skipAttempts),
+                "fast-forward bound computations");
+    r.sched.add("sim.sched.skipSuccesses",
+                static_cast<double>(sched_.skipSuccesses),
+                "fast-forward jumps that moved the clock");
+    r.sched.add("sim.sched.coreTicks",
+                static_cast<double>(sched_.coreTicks),
+                "per-core tick() calls executed");
+    std::uint64_t elided =
+        sched_.cyclesStepped * cores_.size() - sched_.coreTicks;
+    r.sched.add("sim.sched.coreTicksElided", static_cast<double>(elided),
+                "core ticks skipped by the event queue");
+    r.sched.add("sim.sched.queuePushes",
+                static_cast<double>(queue_.pushes()),
+                "event-queue arm operations");
+    r.sched.add("sim.sched.queuePops",
+                static_cast<double>(queue_.pops()),
+                "event-queue due-component pops");
+    r.sched.add("sim.sched.horizonHits",
+                static_cast<double>(mem_->horizonHits()),
+                "DRAM channel horizon-cache hits");
+    r.sched.add("sim.sched.horizonMisses",
+                static_cast<double>(mem_->horizonMisses()),
+                "DRAM channel horizon-cache recomputes");
     return r;
 }
 

@@ -16,6 +16,7 @@
 #include "mem/mem_system.hh"
 #include "obs/observer.hh"
 #include "sim/core.hh"
+#include "sim/event_queue.hh"
 #include "trace/kernel.hh"
 
 namespace mtp {
@@ -37,6 +38,16 @@ struct RunResult
     std::uint64_t demandTxns = 0;   //!< demand transactions to memory
     double avgActiveWarps = 0.0;    //!< mean resident warps per busy core
     StatSet stats;                  //!< full hierarchical statistics
+
+    /**
+     * Scheduler introspection ("sim.sched.*": queue pushes/pops, skip
+     * attempts vs. successes, cycles skipped, horizon-cache hit rate).
+     * Kept out of `stats` on purpose: these counters describe how the
+     * host simulated the run, differ across scheduler modes and build
+     * types by design, and must not participate in the bit-identity
+     * comparisons that cover `stats`.
+     */
+    StatSet sched;
 
     /** Prefetch accuracy: useful / fills (1 when no prefetching). */
     double
@@ -97,10 +108,13 @@ class Gpu
     /**
      * Run the kernel to completion and return the summary. With
      * cfg.fastForward (the default) the loop skips stretches of cycles
-     * in which no component can act, using the components'
-     * nextEventAt() bounds; results are bit-identical to the naive
-     * cycle-by-cycle loop, which remains available as the oracle with
-     * fastForward = false.
+     * in which no component can act: cfg.eventQueue (the default)
+     * selects the event-queue schedule — components self-arm their
+     * next tick and only due components tick each stepped cycle —
+     * while eventQueue = false keeps the legacy loop that ticks
+     * everything and polls every nextEventAt() bound between steps.
+     * Results are bit-identical across all three; the naive
+     * cycle-by-cycle loop remains the oracle with fastForward = false.
      */
     RunResult run();
 
@@ -131,8 +145,37 @@ class Gpu
     const SimConfig &config() const { return cfg_; }
 
   private:
+    /** Naive oracle loop: step every cycle (fastForward = false). */
+    void runNaive();
+
+    /** Legacy fast-forward: tick everything, poll bounds, skip. */
+    void runLegacy();
+
+    /**
+     * Event-queue schedule (DESIGN.md §7): each component self-arms
+     * its next tick in queue_; every stepped cycle ticks only the due
+     * components (in the naive loop's phase order, for bit-identity)
+     * and then jumps straight to the earliest armed cycle. Parked
+     * cores' cycles are bulk-attributed via Core::accountSkip() when
+     * they next tick (coreSettledTo_ cursors).
+     */
+    void runQueued();
+
     /** Hand out grid blocks to cores with free occupancy slots. */
     void dispatchBlocks();
+
+    /** @return true iff some core could accept a pending block now. */
+    bool dispatchPossible() const;
+
+    /** @return true iff undispatched blocks exist for core @p c. */
+    bool blocksPendingFor(CoreId c) const;
+
+    /**
+     * Account the (cycle & 127) == 0 active-warp samples of the fully
+     * skipped window [@p from, @p to): no component acts inside it, so
+     * every sample sees the current state.
+     */
+    void bulkWarpSamples(Cycle from, Cycle to);
 
     /** Register probes/tracks and wire the tracer into components. */
     void attachObserver(obs::Observer *obs);
@@ -160,6 +203,32 @@ class Gpu
     unsigned busyCores_ = 0;          //!< cores with !idle()
     std::uint64_t activeWarpSamples_ = 0;
     std::uint64_t activeWarpSum_ = 0;
+
+    // Event-queue scheduler state (runQueued()).
+    EventQueue queue_;
+    /**
+     * Per core: the first cycle not yet attributed to cycle-accounting
+     * categories. A parked core's window [coreSettledTo_[c], t) is
+     * bulk-attributed when it next ticks at t.
+     */
+    std::vector<Cycle> coreSettledTo_;
+    /** Cycle rrStartCore_ is synchronized to (rr dispatch rotates
+     *  once per cycle even while the dispatcher is parked). */
+    Cycle rrSyncedAt_ = 0;
+    /** Cores handed a block by the last dispatchBlocks() call. */
+    std::vector<CoreId> dispatchedScratch_;
+
+    /** Scheduler introspection counters (RunResult::sched). */
+    struct SchedCounters
+    {
+        std::uint64_t cyclesStepped = 0;
+        std::uint64_t cyclesSkipped = 0;
+        std::uint64_t skipAttempts = 0;
+        std::uint64_t skipSuccesses = 0;
+        std::uint64_t coreTicks = 0;
+    };
+    SchedCounters sched_;
+
     obs::Observer *obs_ = nullptr;
     std::unique_ptr<obs::Observer> ownedObs_; //!< env-alias fallback
 };

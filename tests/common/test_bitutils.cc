@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "common/bitutils.hh"
 #include "common/types.hh"
 
@@ -55,6 +59,80 @@ TEST(BitUtils, Mix64IsDeterministicAndSpreads)
         x >>= 1;
     }
     EXPECT_GT(diff, 16u);
+}
+
+TEST(DynBitset, FindNextSet)
+{
+    DynBitset b(200);
+    b.set(3);
+    b.set(64);
+    b.set(199);
+    EXPECT_EQ(b.findNextSet(0), 3u);
+    EXPECT_EQ(b.findNextSet(3), 3u);
+    EXPECT_EQ(b.findNextSet(4), 64u);
+    EXPECT_EQ(b.findNextSet(65), 199u);
+    EXPECT_EQ(b.findNextSet(200), DynBitset::npos);
+    DynBitset empty(128);
+    EXPECT_EQ(empty.findNextSet(0), DynBitset::npos);
+}
+
+TEST(DynBitset, ForEachSetWordSkipsEmptyWords)
+{
+    DynBitset b(256);
+    b.set(1);
+    b.set(130);
+    b.set(131);
+    std::vector<std::pair<std::size_t, std::uint64_t>> seen;
+    b.forEachSetWord([&](std::size_t base, std::uint64_t word) {
+        seen.emplace_back(base, word);
+    });
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].first, 0u);
+    EXPECT_EQ(seen[0].second, std::uint64_t{1} << 1);
+    EXPECT_EQ(seen[1].first, 128u);
+    EXPECT_EQ(seen[1].second, std::uint64_t{3} << 2);
+}
+
+TEST(DynBitset, ForEachSetVisitsAscendingIndices)
+{
+    DynBitset b(300);
+    for (std::size_t i : {0u, 63u, 64u, 127u, 191u, 299u})
+        b.set(i);
+    std::vector<std::size_t> seen;
+    bool completed = b.forEachSet([&](std::size_t i) { seen.push_back(i); });
+    EXPECT_TRUE(completed);
+    EXPECT_EQ(seen,
+              (std::vector<std::size_t>{0, 63, 64, 127, 191, 299}));
+}
+
+TEST(DynBitset, ForEachSetEarlyExit)
+{
+    DynBitset b(128);
+    for (std::size_t i : {2u, 40u, 70u, 100u})
+        b.set(i);
+    std::vector<std::size_t> seen;
+    bool completed = b.forEachSet([&](std::size_t i) {
+        seen.push_back(i);
+        return i < 40; // stop after visiting 40
+    });
+    EXPECT_FALSE(completed);
+    EXPECT_EQ(seen, (std::vector<std::size_t>{2, 40}));
+}
+
+TEST(DynBitset, ForEachSetToleratesClearingVisitedBit)
+{
+    // The scan iterates a copy of each word, so clearing the bit being
+    // visited (what retireWarps does) must not derail it.
+    DynBitset b(128);
+    for (std::size_t i : {1u, 5u, 64u, 90u})
+        b.set(i);
+    std::vector<std::size_t> seen;
+    b.forEachSet([&](std::size_t i) {
+        b.clear(i);
+        seen.push_back(i);
+    });
+    EXPECT_EQ(seen, (std::vector<std::size_t>{1, 5, 64, 90}));
+    EXPECT_FALSE(b.any());
 }
 
 TEST(BlockAlign, Basics)

@@ -1,12 +1,14 @@
 /**
  * @file
- * Golden-equivalence suite for event-driven cycle skipping: a run with
- * cfg.fastForward (the default) must be bit-identical to the naive
- * cycle-by-cycle oracle loop (fastForward = false) — every RunResult
- * field and the full statistics dump — across kernels, prefetcher
- * configurations, throttling, and the scheduler/dispatch ablations.
- * Also regression-tests the O(1) done() counters against the
- * exhaustive scan at every step.
+ * Golden-equivalence suite for event-driven cycle skipping: all three
+ * scheduler modes — the naive cycle-by-cycle oracle (fastForward =
+ * false), the legacy polling fast-forward (fastForward = true,
+ * eventQueue = false) and the event-queue schedule (both true, the
+ * default) — must be bit-identical in every RunResult field and the
+ * full statistics dump, across kernels, prefetcher configurations,
+ * throttling, and the scheduler/dispatch ablations. Also
+ * regression-tests the O(1) done() counters against the exhaustive
+ * scan at every step.
  */
 
 #include <gtest/gtest.h>
@@ -121,19 +123,27 @@ goldenConfigs()
 
 /**
  * The full golden matrix: every kernel under every configuration must
- * produce byte-identical results with and without fast-forwarding.
+ * produce byte-identical results in all three scheduler modes — the
+ * naive oracle, the legacy polling fast-forward, and the event-queue
+ * schedule.
  */
 TEST(FastForwardGolden, MatrixIdentical)
 {
     for (const auto &[cname, cfg] : goldenConfigs()) {
         for (const auto &[kname, kernel] : goldenKernels()) {
-            SimConfig fast = cfg;
-            fast.fastForward = true;
             SimConfig naive = cfg;
             naive.fastForward = false;
-            expectBitIdentical(simulate(fast, kernel),
-                               simulate(naive, kernel),
-                               cname + "/" + kname);
+            SimConfig legacy = cfg;
+            legacy.fastForward = true;
+            legacy.eventQueue = false;
+            SimConfig queued = cfg;
+            queued.fastForward = true;
+            queued.eventQueue = true;
+            RunResult oracle = simulate(naive, kernel);
+            expectBitIdentical(simulate(legacy, kernel), oracle,
+                               cname + "/" + kname + "/legacy");
+            expectBitIdentical(simulate(queued, kernel), oracle,
+                               cname + "/" + kname + "/queued");
         }
     }
 }
@@ -181,8 +191,13 @@ TEST(FastForwardGolden, ThrottlePeriodBoundaries)
         cfg.throttlePeriod = period;
         SimConfig naive = cfg;
         naive.fastForward = false;
-        expectBitIdentical(simulate(cfg, kernel), simulate(naive, kernel),
-                           "period=" + std::to_string(period));
+        SimConfig legacy = cfg;
+        legacy.eventQueue = false;
+        RunResult oracle = simulate(naive, kernel);
+        expectBitIdentical(simulate(legacy, kernel), oracle,
+                           "legacy period=" + std::to_string(period));
+        expectBitIdentical(simulate(cfg, kernel), oracle,
+                           "queued period=" + std::to_string(period));
     }
 }
 
@@ -221,10 +236,11 @@ TEST(DoneCounter, MatchesExhaustiveScanRrDispatch)
 }
 
 /**
- * fastForward feeds the config dump and hence the RunCache
- * fingerprint: oracle and fast runs must be distinct cache entries
- * that agree on results. Run under the parallel driver so the TSan
- * build exercises the new counters across worker threads.
+ * fastForward and eventQueue feed the config dump and hence the
+ * RunCache fingerprint: oracle, legacy and queued runs must be
+ * distinct cache entries that agree on results. Run under the parallel
+ * driver so the TSan build exercises the new counters across worker
+ * threads.
  */
 TEST(FastForwardGolden, DriverMatrixUnderParallelExecutor)
 {
@@ -232,21 +248,27 @@ TEST(FastForwardGolden, DriverMatrixUnderParallelExecutor)
         test::tinyStreamKernel(2, 6, 4),
         test::tinyMpKernel(2, 8),
     };
-    SimConfig fast = test::tinyConfig();
-    fast.hwPref = HwPrefKind::MTHWP;
-    SimConfig naive = fast;
+    SimConfig queued = test::tinyConfig();
+    queued.hwPref = HwPrefKind::MTHWP;
+    SimConfig legacy = queued;
+    legacy.eventQueue = false;
+    SimConfig naive = queued;
     naive.fastForward = false;
 
     driver::ParallelExecutor exec(4);
     driver::RunCache cache(exec);
     for (const auto &k : kernels) {
-        cache.submit(fast, k);
+        cache.submit(queued, k);
+        cache.submit(legacy, k);
         cache.submit(naive, k);
     }
-    EXPECT_EQ(cache.misses(), 4u);
-    for (const auto &k : kernels)
-        expectBitIdentical(cache.result(fast, k), cache.result(naive, k),
-                           k.name);
+    EXPECT_EQ(cache.misses(), 6u);
+    for (const auto &k : kernels) {
+        expectBitIdentical(cache.result(legacy, k),
+                           cache.result(naive, k), k.name + "/legacy");
+        expectBitIdentical(cache.result(queued, k),
+                           cache.result(naive, k), k.name + "/queued");
+    }
 }
 
 } // namespace

@@ -157,6 +157,69 @@ printBreakdown(const std::vector<Run> &runs)
     std::printf("\n");
 }
 
+/**
+ * Host-scheduler section of `show`: how the run was simulated
+ * (sim.sched.*, emitted by mtp-sim --stats). Older stats files predate
+ * these counters, so the section prints only when at least one run
+ * carries them and every read tolerates absence.
+ */
+void
+printScheduler(const std::vector<Run> &runs)
+{
+    bool any = false;
+    for (const auto &run : runs)
+        any = any || run.stats.count("sim.sched.cyclesStepped") > 0;
+    if (!any)
+        return;
+    std::printf("\n%-18s", "scheduler");
+    for (const auto &run : runs)
+        std::printf("  %20s", run.label.c_str());
+    std::printf("\n");
+    auto row = [&](const char *label, auto fn) {
+        std::printf("%-18s", label);
+        for (const auto &run : runs)
+            std::printf("  %20s", fn(run).c_str());
+        std::printf("\n");
+    };
+    auto count = [](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+        return std::string(buf);
+    };
+    auto pct = [](double num, double den) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.1f%%",
+                      den > 0 ? 100.0 * num / den : 0.0);
+        return std::string(buf);
+    };
+    row("cycles stepped", [&](const Run &r) {
+        return count(r.getOr("sim.sched.cyclesStepped", 0.0));
+    });
+    row("cycles skipped", [&](const Run &r) {
+        double stepped = r.getOr("sim.sched.cyclesStepped", 0.0);
+        double skipped = r.getOr("sim.sched.cyclesSkipped", 0.0);
+        return count(skipped) + " (" + pct(skipped, stepped + skipped) +
+               ")";
+    });
+    row("skip success", [&](const Run &r) {
+        return pct(r.getOr("sim.sched.skipSuccesses", 0.0),
+                   r.getOr("sim.sched.skipAttempts", 0.0));
+    });
+    row("core ticks elided", [&](const Run &r) {
+        double ticks = r.getOr("sim.sched.coreTicks", 0.0);
+        double elided = r.getOr("sim.sched.coreTicksElided", 0.0);
+        return count(elided) + " (" + pct(elided, ticks + elided) + ")";
+    });
+    row("queue pushes/pops", [&](const Run &r) {
+        return count(r.getOr("sim.sched.queuePushes", 0.0)) + "/" +
+               count(r.getOr("sim.sched.queuePops", 0.0));
+    });
+    row("horizon hit rate", [&](const Run &r) {
+        double hits = r.getOr("sim.sched.horizonHits", 0.0);
+        return pct(hits, hits + r.getOr("sim.sched.horizonMisses", 0.0));
+    });
+}
+
 /** Demand-latency mean over all cores (histogram-count weighted). */
 double
 avgDemandLatency(const Run &run)
@@ -416,6 +479,7 @@ main(int argc, char **argv)
         for (const auto &f : files)
             runs.push_back(loadStats(f));
         printBreakdown(runs);
+        printScheduler(runs);
     } else if (mode == "compare") {
         if (files.size() < 2) {
             usage(argv[0]);

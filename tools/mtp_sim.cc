@@ -274,15 +274,20 @@ main(int argc, char **argv)
             std::ofstream out(stats_file);
             if (!out)
                 MTP_FATAL("cannot write '", stats_file, "'");
+            // Simulation stats plus the host-side scheduler counters
+            // (sim.sched.*, kept separate in RunResult so bit-identity
+            // comparisons never see them).
+            StatSet full = r.stats;
+            full.merge(r.sched, "");
             if (csv)
-                r.stats.dumpCsv(out);
+                full.dumpCsv(out);
             else if (json)
-                r.stats.dumpJson(out);
+                full.dumpJson(out);
             else
-                r.stats.dumpText(out);
+                full.dumpText(out);
             if (!quiet)
                 std::printf("stats       %s (%zu entries)\n",
-                            stats_file.c_str(), r.stats.size());
+                            stats_file.c_str(), full.size());
         }
 
         if (!quiet) {
