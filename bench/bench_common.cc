@@ -1,5 +1,6 @@
 #include "bench/bench_common.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <sstream>
@@ -30,6 +31,10 @@ parseArgs(int argc, char **argv)
             opts.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
             if (opts.jobs == 0)
                 MTP_FATAL("--jobs must be >= 1");
+        } else if (arg == "--shards" && i + 1 < argc) {
+            opts.shards = static_cast<unsigned>(std::stoul(argv[++i]));
+            if (opts.shards == 0)
+                MTP_FATAL("--shards must be >= 1");
         } else if (arg == "--sample-period" && i + 1 < argc) {
             opts.samplePeriod = static_cast<Cycle>(
                 std::stoull(argv[++i]));
@@ -37,7 +42,7 @@ parseArgs(int argc, char **argv)
             opts.traceOut = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--scale N] [--bench a,b,...] "
-                        "[--jobs N] [--sample-period N] "
+                        "[--jobs N] [--shards N] [--sample-period N] "
                         "[--trace-out file.json] [key=value ...]\n",
                         argv[0]);
             std::exit(0);
@@ -60,11 +65,19 @@ obsConfig(const Options &opts, const std::string &runTag)
     return ocfg;
 }
 
+unsigned
+effectiveJobs(const Options &opts)
+{
+    return driver::ParallelExecutor::budgetedThreads(opts.jobs,
+                                                     opts.shards);
+}
+
 SimConfig
 baseConfig(const Options &opts)
 {
     SimConfig cfg;
     cfg.throttlePeriod = opts.throttlePeriod;
+    cfg.shards = opts.shards;
     cfg.applyOverrides(opts.overrides);
     return cfg;
 }

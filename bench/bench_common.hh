@@ -28,15 +28,24 @@ struct Options
     unsigned scaleDiv = 8;      //!< grid divisor vs. the paper
     Cycle throttlePeriod = 5000; //!< scaled from the paper's 100K
     unsigned jobs = 0;          //!< worker threads (0 = all cores)
+    unsigned shards = 1;        //!< intra-run worker threads (--shards)
     Cycle samplePeriod = 0;     //!< --sample-period (0 = no sampling)
     std::string traceOut;       //!< --trace-out Chrome trace base path
     std::vector<std::string> overrides; //!< SimConfig key=value pairs
     std::vector<std::string> benchmarks; //!< subset filter (--bench a,b)
 };
 
-/** Parse argv; recognises --scale, --bench, --jobs, --sample-period,
- *  --trace-out and key=value overrides. */
+/** Parse argv; recognises --scale, --bench, --jobs, --shards,
+ *  --sample-period, --trace-out and key=value overrides. */
 Options parseArgs(int argc, char **argv);
+
+/**
+ * Executor width for @p opts: the explicit --jobs value, or — when
+ * intra-run sharding is on and no --jobs was given — the host core
+ * count divided by the shard count, so the two parallelism axes share
+ * one thread budget (jobs x shards ~ cores) instead of multiplying.
+ */
+unsigned effectiveJobs(const Options &opts);
 
 /**
  * Observation settings for one run of a harness, derived from
@@ -85,7 +94,7 @@ class Runner
 {
   public:
     explicit Runner(const Options &opts)
-        : opts_(opts), exec_(opts.jobs), cache_(exec_)
+        : opts_(opts), exec_(effectiveJobs(opts)), cache_(exec_)
     {
     }
 

@@ -18,14 +18,29 @@
  * that stress the event-queue schedule where the legacy polling loop
  * historically regressed. Exits nonzero on any fast/naive mismatch.
  *
+ * A second section sweeps intra-run sharding (SimConfig::shards) over
+ * the paper's Fig. 18 machine width (28 cores): the high-MLP streaming
+ * benchmark is timed at every shard count of the --shards axis
+ * (default 1,2,4), each run's statistics dump is checked byte-identical
+ * against the serial shards=1 reference, and the self-relative speedup
+ * lands in BENCH_simrate.json under "shardScaling".
+ *
  * --gate additionally enforces the performance contract of the
  * event-queue scheduler: every per-workload speedup >= 1.0x and the
- * geomean >= 3.0x. Workloads falling short are re-measured up to
- * three times (best-of-N) so a CI scheduling hiccup in one timing
- * cannot fail the gate; a genuine regression still does.
+ * geomean >= 3.0x — measured at shards=1, so the sharded
+ * infrastructure gates against any serial-path regression — plus a
+ * 1.8x self-relative floor on the shards=4 scaling point whenever the
+ * host has at least four hardware threads (skipped, loudly, on
+ * smaller hosts where the speedup cannot physically materialize).
+ * Workloads falling short are re-measured best-of-N so a CI
+ * scheduling hiccup in one timing cannot fail the gate; a genuine
+ * regression still does. The attempt count is tunable via the
+ * MTP_BENCH_RETRIES environment variable and every re-measurement
+ * draws from one monotonic-clock budget, so retries can never walk
+ * the job past its CTest timeout.
  *
- * Usage: bench_simrate [--scale N] [--bench a,b] [--out FILE] [--smoke]
- *                      [--gate]
+ * Usage: bench_simrate [--scale N] [--bench a,b] [--shards a,b,...]
+ *                      [--out FILE] [--smoke] [--gate]
  */
 
 #include <algorithm>
@@ -36,6 +51,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hh"
@@ -214,9 +230,49 @@ kcyclesPerSec(Cycle cycles, double secs)
     return secs > 0.0 ? static_cast<double>(cycles) / secs / 1000.0 : 0.0;
 }
 
+/** One point of the intra-run sharding sweep. */
+struct ScalePoint
+{
+    unsigned shards = 1;
+    Cycle cycles = 0;
+    double seconds = 0.0;
+    double speedup = 0.0; //!< self-relative: shards=1 time / this time
+    bool identical = false; //!< stats byte-identical to shards=1
+};
+
+/** Time one fast-forward run; @p r receives the result. */
+double
+timeFast(const SimConfig &cfg, const KernelDesc &kernel, RunResult &r)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    r = simulate(cfg, kernel);
+    auto t1 = std::chrono::steady_clock::now();
+    return seconds(t0, t1);
+}
+
+/**
+ * Best-of-N attempt count for --gate re-measurements: 4 unless the
+ * MTP_BENCH_RETRIES environment variable overrides it.
+ */
+unsigned
+gateAttemptBudget()
+{
+    const char *env = std::getenv("MTP_BENCH_RETRIES");
+    if (!env || !*env)
+        return 4;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || v == 0)
+        MTP_FATAL("MTP_BENCH_RETRIES must be a positive integer, got '",
+                  env, "'");
+    return static_cast<unsigned>(v);
+}
+
 void
 writeJson(const std::string &path, unsigned scaleDiv,
-          const std::vector<Measurement> &rows, double geomeanSpeedup)
+          const std::vector<Measurement> &rows, double geomeanSpeedup,
+          const std::string &scaleName, unsigned scaleCores,
+          const std::vector<ScalePoint> &scaling)
 {
     std::ofstream os(path);
     os << "{\n  \"bench\": \"simrate\",\n  \"scaleDiv\": " << scaleDiv
@@ -235,7 +291,25 @@ writeJson(const std::string &path, unsigned scaleDiv,
            << (m.identical ? "true" : "false") << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    os << "  ],\n  \"geomeanSpeedup\": " << geomeanSpeedup << "\n}\n";
+    os << "  ],\n  \"geomeanSpeedup\": " << geomeanSpeedup;
+    if (!scaling.empty()) {
+        os << ",\n  \"shardScaling\": {\n    \"workload\": \""
+           << scaleName << "\",\n    \"numCores\": " << scaleCores
+           << ",\n    \"hostThreads\": "
+           << std::max(1u, std::thread::hardware_concurrency())
+           << ",\n    \"points\": [\n";
+        for (std::size_t i = 0; i < scaling.size(); ++i) {
+            const ScalePoint &p = scaling[i];
+            os << "      {\"shards\": " << p.shards << ", \"seconds\": "
+               << p.seconds << ", \"kcyclesPerSec\": "
+               << kcyclesPerSec(p.cycles, p.seconds) << ", \"speedup\": "
+               << p.speedup << ", \"identical\": "
+               << (p.identical ? "true" : "false") << "}"
+               << (i + 1 < scaling.size() ? "," : "") << "\n";
+        }
+        os << "    ]\n  }";
+    }
+    os << "\n}\n";
 }
 
 } // namespace
@@ -248,6 +322,7 @@ main(int argc, char **argv)
     bool gate = false;
     std::string out = "BENCH_simrate.json";
     std::vector<std::string> filter;
+    std::vector<unsigned> shardAxis = {1, 2, 4};
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--scale" && i + 1 < argc) {
@@ -257,6 +332,16 @@ main(int argc, char **argv)
             std::string name;
             while (std::getline(ss, name, ','))
                 filter.push_back(name);
+        } else if (arg == "--shards" && i + 1 < argc) {
+            shardAxis.clear();
+            std::stringstream ss(argv[++i]);
+            std::string item;
+            while (std::getline(ss, item, ','))
+                shardAxis.push_back(
+                    static_cast<unsigned>(std::stoul(item)));
+            for (unsigned s : shardAxis)
+                if (s == 0)
+                    MTP_FATAL("--shards values must be >= 1");
         } else if (arg == "--out" && i + 1 < argc) {
             out = argv[++i];
         } else if (arg == "--smoke") {
@@ -266,13 +351,20 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--scale N] [--bench a,b] "
-                         "[--out FILE] [--smoke] [--gate]\n",
+                         "[--shards a,b,...] [--out FILE] [--smoke] "
+                         "[--gate]\n",
                          argv[0]);
             return 2;
         }
     }
     if (smoke)
         scaleDiv = 64;
+    // The sweep is self-relative: shards=1 is the reference point.
+    std::sort(shardAxis.begin(), shardAxis.end());
+    shardAxis.erase(std::unique(shardAxis.begin(), shardAxis.end()),
+                    shardAxis.end());
+    if (shardAxis.empty() || shardAxis.front() != 1)
+        shardAxis.insert(shardAxis.begin(), 1);
 
     SimConfig cfg; // Table II baseline, no prefetching
     cfg.throttlePeriod = 100000 / scaleDiv;
@@ -322,7 +414,17 @@ main(int argc, char **argv)
     // The gate's performance contract (see the file comment).
     const double gateMinSpeedup = 1.0;
     const double gateMinGeomean = 3.0;
-    const unsigned gateAttempts = 4;
+    const double gateMinShardSpeedup = 1.8; // shards=4, self-relative
+    const unsigned gateAttempts = gateAttemptBudget();
+    // All gate re-measurements draw on one monotonic-clock budget:
+    // once it runs out the best timing so far stands, so retries can
+    // never push the job past its CTest timeout.
+    const auto retryDeadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(240);
+    auto retryAllowed = [&](unsigned attempt) {
+        return attempt < gateAttempts &&
+               std::chrono::steady_clock::now() < retryDeadline;
+    };
 
     std::vector<Measurement> rows;
     std::vector<double> speedups;
@@ -333,12 +435,13 @@ main(int argc, char **argv)
         Measurement m = measure(name, wcfg, kernel);
         // Best-of-N under --gate: every workload is timed twice (a
         // single slow timing must not fail the gate), and a workload
-        // still below the per-kernel floor earns further retries. Only
+        // still below the per-kernel floor earns further retries —
+        // bounded by the attempt budget and the shared deadline. Only
         // the timing can improve — the identity verdict must hold in
         // every attempt.
         for (unsigned a = 1;
-             gate && (a < 2 || (a < gateAttempts &&
-                                m.speedup < gateMinSpeedup));
+             gate && (a < 2 || m.speedup < gateMinSpeedup) &&
+             retryAllowed(a);
              ++a) {
             Measurement again = measure(name, wcfg, kernel);
             bool identical = m.identical && again.identical;
@@ -360,13 +463,87 @@ main(int argc, char **argv)
 
     double gm = bench::geomean(speedups);
     std::printf("\ngeomean speedup: %.2fx\n", gm);
-    writeJson(out, scaleDiv, rows, gm);
+
+    // Intra-run sharding sweep: the high-MLP streaming kernel on the
+    // paper's Fig. 18 machine width, timed at each shard count.
+    // shards=1 runs the unmodified serial event-queue loop and is the
+    // self-relative reference; every other point must reproduce its
+    // statistics dump byte for byte.
+    const std::string scaleName = "mlp_stream";
+    SimConfig scaleCfg = cfg;
+    scaleCfg.numCores = 28;
+    const unsigned hwThreads =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::vector<ScalePoint> scaling;
+    bool shardsIdentical = true;
+    if (!smoke) {
+        KernelDesc scaleKernel = mlpStreamKernel(
+            scaleCfg.numCores, std::max(1024u / scaleDiv, 16u));
+        std::printf("\nsharded scaling: %s, %u cores, host threads %u "
+                    "(self-relative)\n",
+                    scaleName.c_str(), scaleCfg.numCores, hwThreads);
+        std::printf("%-8s %10s %12s %8s %6s\n", "shards", "fast_s",
+                    "fast_kc/s", "speedup", "equal");
+        std::string refDump;
+        double refSeconds = 0.0;
+        for (unsigned s : shardAxis) {
+            SimConfig pointCfg = scaleCfg;
+            pointCfg.shards = s;
+            RunResult r;
+            ScalePoint p;
+            p.shards = s;
+            p.seconds = timeFast(pointCfg, scaleKernel, r);
+            p.cycles = r.cycles;
+            if (s == 1)
+                refDump = statDump(r);
+            p.identical = statDump(r) == refDump;
+            // Under --gate both ends of the contract get best-of-N
+            // re-measurements like the serial workloads: the shards=1
+            // reference (a slow reference would flatter every other
+            // point) and the gated shards=4 point (retried while it
+            // sits below the floor). Timing can improve, identity must
+            // hold.
+            bool gated =
+                gate && (s == 1 || (s == 4 && hwThreads >= 4));
+            for (unsigned a = 1;
+                 gated &&
+                 (a < 2 ||
+                  (s == 4 &&
+                   refSeconds / p.seconds < gateMinShardSpeedup)) &&
+                 retryAllowed(a);
+                 ++a) {
+                RunResult again;
+                double secs = timeFast(pointCfg, scaleKernel, again);
+                p.identical =
+                    p.identical && statDump(again) == refDump;
+                p.seconds = std::min(p.seconds, secs);
+            }
+            if (s == 1)
+                refSeconds = p.seconds;
+            p.speedup =
+                p.seconds > 0.0 ? refSeconds / p.seconds : 0.0;
+            std::printf("%-8u %10.3f %12.1f %7.2fx %6s\n", p.shards,
+                        p.seconds, kcyclesPerSec(p.cycles, p.seconds),
+                        p.speedup, p.identical ? "yes" : "NO");
+            shardsIdentical = shardsIdentical && p.identical;
+            scaling.push_back(p);
+        }
+    }
+
+    writeJson(out, scaleDiv, rows, gm, scaleName, scaleCfg.numCores,
+              scaling);
     std::printf("wrote %s\n", out.c_str());
 
     if (!allIdentical) {
         std::fprintf(stderr,
                      "FAIL: fast-forward results diverge from the naive "
                      "oracle loop\n");
+        return 1;
+    }
+    if (!shardsIdentical) {
+        std::fprintf(stderr,
+                     "FAIL: sharded runs diverge from the serial "
+                     "shards=1 reference\n");
         return 1;
     }
     if (gate) {
@@ -386,6 +563,26 @@ main(int argc, char **argv)
                          "gate\n",
                          gm, gateMinGeomean);
             ok = false;
+        }
+        // Sharded floor: shards=4 must reach 1.8x self-relative — a
+        // physical impossibility on hosts with fewer than four
+        // hardware threads, where the floor is skipped (loudly). The
+        // shards=1 no-regression half of the contract is the serial
+        // gate above: every workload there runs at shards=1.
+        for (const ScalePoint &p : scaling) {
+            if (p.shards != 4)
+                continue;
+            if (hwThreads < 4) {
+                std::printf("gate: shards=4 floor skipped (host has "
+                            "%u hardware thread%s)\n",
+                            hwThreads, hwThreads == 1 ? "" : "s");
+            } else if (p.speedup < gateMinShardSpeedup) {
+                std::fprintf(stderr,
+                             "FAIL: shards=4 speedup %.2fx below the "
+                             "%.1fx scaling floor\n",
+                             p.speedup, gateMinShardSpeedup);
+                ok = false;
+            }
         }
         if (!ok)
             return 1;

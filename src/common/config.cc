@@ -207,6 +207,7 @@ setters()
         U64_FIELD(seed),
         BOOL_FIELD(fastForward),
         BOOL_FIELD(eventQueue),
+        UNSIGNED_FIELD(shards),
     };
     return table;
 }
@@ -267,6 +268,10 @@ SimConfig::validate() const
         MTP_FATAL("queue sizes must be > 0");
     if (icntCoresPerPort == 0)
         MTP_FATAL("icntCoresPerPort must be > 0");
+    if (shards == 0)
+        MTP_FATAL("shards must be >= 1");
+    if (shards > 1 && !(fastForward && eventQueue))
+        MTP_FATAL("shards > 1 requires fastForward and eventQueue");
 }
 
 void
@@ -333,7 +338,8 @@ SimConfig::dump(std::ostream &os) const
        << "maxCycles = " << maxCycles << '\n'
        << "seed = " << seed << '\n'
        << "fastForward = " << fastForward << '\n'
-       << "eventQueue = " << eventQueue << '\n';
+       << "eventQueue = " << eventQueue << '\n'
+       << "shards = " << shards << '\n';
 }
 
 } // namespace mtp

@@ -214,6 +214,15 @@ struct SimConfig
      * testable.
      */
     bool eventQueue = true;
+    /**
+     * Intra-run parallelism: partition cores and DRAM channels into this
+     * many shards, each ticked by its own worker thread under the
+     * epoch-barrier protocol (DESIGN.md §10). 1 (the default) runs the
+     * serial event-queue loop unchanged; any value produces bit-identical
+     * results and statistics — shards only trade wall-clock time for
+     * threads. Requires fastForward and eventQueue; clamped to numCores.
+     */
+    unsigned shards = 1;
 
     /**
      * Apply a textual "key=value" override (used by bench/example CLIs).

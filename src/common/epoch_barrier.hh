@@ -1,0 +1,153 @@
+/**
+ * @file
+ * EpochBarrier: a coordinator/worker rendezvous for epoch-sharded
+ * execution (DESIGN.md §10).
+ *
+ * One coordinator thread publishes a command (an opaque 64-bit word —
+ * the Gpu encodes an opcode plus the cycle to advance to), every worker
+ * executes it against its own shard, and the coordinator waits for all
+ * of them before publishing the next. Commands are totally ordered by a
+ * generation counter, so each release()/awaitAll() pair is a full
+ * happens-before fence between the coordinator and every worker: state
+ * written by workers during epoch N is safely read by the coordinator
+ * (and vice versa) without any further synchronization.
+ *
+ * Waiting spins briefly and then parks on C++20 std::atomic::wait
+ * (a futex on Linux), so oversubscribed hosts — including single-core
+ * CI runners — make progress instead of burning the coordinator's
+ * timeslice. Per-worker slots are cacheline-aligned to keep the
+ * arrival stores from false-sharing, and the time each side spends
+ * blocked is accounted per slot for the sim.sched.barrier* stats.
+ */
+
+#ifndef MTP_COMMON_EPOCH_BARRIER_HH
+#define MTP_COMMON_EPOCH_BARRIER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace mtp {
+
+class EpochBarrier
+{
+  public:
+    explicit EpochBarrier(unsigned workers) : slots_(workers) {}
+
+    unsigned workers() const { return static_cast<unsigned>(slots_.size()); }
+
+    // ------------------------------------------------------------------
+    // Coordinator side
+    // ------------------------------------------------------------------
+
+    /** Publish the next command and wake every worker. */
+    void
+    release(std::uint64_t command)
+    {
+        command_.store(command, std::memory_order_relaxed);
+        epoch_.fetch_add(1, std::memory_order_release);
+        epoch_.notify_all();
+    }
+
+    /** Block until every worker has arrive()d for the last release(). */
+    void
+    awaitAll()
+    {
+        std::uint64_t gen = epoch_.load(std::memory_order_relaxed);
+        for (Slot &slot : slots_)
+            coordWaitNs_ += waitFor(slot.done, gen);
+    }
+
+    // ------------------------------------------------------------------
+    // Worker side (worker ids are 0-based slot indices)
+    // ------------------------------------------------------------------
+
+    /** Block until a command newer than the last one seen is published. */
+    std::uint64_t
+    awaitCommand(unsigned w)
+    {
+        Slot &slot = slots_[w];
+        std::uint64_t ns = waitFor(epoch_, slot.seen + 1);
+        if (ns)
+            slot.waitNs.fetch_add(ns, std::memory_order_relaxed);
+        ++slot.seen;
+        return command_.load(std::memory_order_relaxed);
+    }
+
+    /** Signal that this worker finished the current command. */
+    void
+    arrive(unsigned w)
+    {
+        Slot &slot = slots_[w];
+        slot.done.store(slot.seen, std::memory_order_release);
+        slot.done.notify_one();
+    }
+
+    // ------------------------------------------------------------------
+    // Wait-time accounting (nanoseconds spent blocked past the spin)
+    // ------------------------------------------------------------------
+
+    std::uint64_t
+    workerWaitNs(unsigned w) const
+    {
+        return slots_[w].waitNs.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t coordinatorWaitNs() const { return coordWaitNs_; }
+
+  private:
+    struct alignas(64) Slot
+    {
+        /** Generation of the last command this worker completed. */
+        std::atomic<std::uint64_t> done {0};
+        /** Nanoseconds this worker spent blocked waiting for commands. */
+        std::atomic<std::uint64_t> waitNs {0};
+        /** Worker-local: generation of the last command observed. */
+        std::uint64_t seen = 0;
+    };
+
+    /**
+     * Wait until @p var >= @p target; returns the nanoseconds spent
+     * waiting (0 when the target was already reached — the common case
+     * pays one acquire load and no clock reads).
+     */
+    static std::uint64_t
+    waitFor(std::atomic<std::uint64_t> &var, std::uint64_t target)
+    {
+        if (var.load(std::memory_order_acquire) >= target)
+            return 0;
+        auto t0 = std::chrono::steady_clock::now();
+        for (int spin = 0; spin < 256; ++spin) {
+            if (var.load(std::memory_order_acquire) >= target)
+                return elapsedNs(t0);
+        }
+        for (;;) {
+            std::uint64_t cur = var.load(std::memory_order_acquire);
+            if (cur >= target)
+                return elapsedNs(t0);
+            var.wait(cur, std::memory_order_acquire);
+        }
+    }
+
+    static std::uint64_t
+    elapsedNs(std::chrono::steady_clock::time_point t0)
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0).count());
+    }
+
+    /** Bumped once per release(); workers wait for it to pass them. */
+    alignas(64) std::atomic<std::uint64_t> epoch_ {0};
+    /** The payload of the current epoch's command. */
+    std::atomic<std::uint64_t> command_ {0};
+    /** One arrival slot per worker, cacheline-aligned. */
+    std::vector<Slot> slots_;
+    /** Coordinator-side blocked time across awaitAll() calls. */
+    std::uint64_t coordWaitNs_ = 0;
+};
+
+} // namespace mtp
+
+#endif // MTP_COMMON_EPOCH_BARRIER_HH

@@ -11,6 +11,7 @@
 #ifndef MTP_MEM_MEM_SYSTEM_HH
 #define MTP_MEM_MEM_SYSTEM_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -61,6 +62,49 @@ class MemSystem
     void tickQueued(Cycle now);
 
     /**
+     * Enable the sharded tick protocol (DESIGN.md §10): cross-shard
+     * upgradeToDemand() calls are parked in per-core mailboxes instead
+     * of applied inline, and the per-cycle tick is split into the
+     * parallel tickShardChannels() and the serial finishShardedTick().
+     * Incompatible with an attached lifecycle tracer (hooks would fire
+     * inside parallel phases).
+     */
+    void setSharded(bool on);
+
+    /**
+     * @return true iff upgrade requests deferred by the current cycle's
+     * core phase await application. Forces the epoch loop to run a mem
+     * phase this cycle so mailboxes never survive a cycle boundary
+     * (their drain order — ascending core id — then matches the serial
+     * call order exactly).
+     */
+    bool
+    hasDeferredUpgrades() const
+    {
+        return deferredCount_.load(std::memory_order_relaxed) > 0;
+    }
+
+    /**
+     * Sharded mem phase, worker side: for each owned channel in
+     * [chLo, chHi), apply this cycle's deferred upgrades (ascending
+     * core order), deliver due request packets, and run the
+     * horizon-gated channel tick, parking load completions in the
+     * channel's mailbox. Touches only channel-local state plus relaxed
+     * shared counters; safe to run concurrently for disjoint channel
+     * ranges between epoch barriers.
+     */
+    void tickShardChannels(unsigned chLo, unsigned chHi, Cycle now);
+
+    /**
+     * Sharded mem phase, coordinator tail (all workers at the barrier):
+     * route parked completions into the response network in ascending
+     * channel order — byte-identical to the serial channel loop's send
+     * order — then run injection arbitration and response delivery
+     * exactly as tickQueued() would.
+     */
+    void finishShardedTick(Cycle now);
+
+    /**
      * Cores whose completion list went non-empty during the last
      * tick()/tickQueued(). The event-queue loop arms exactly these
      * cores for the next cycle (a delivered response must be drained
@@ -72,7 +116,11 @@ class MemSystem
     }
 
     /** Requests currently waiting in core MRQs. */
-    std::uint64_t mrqOccupancy() const { return mrqOccupancy_; }
+    std::uint64_t
+    mrqOccupancy() const
+    {
+        return mrqOccupancy_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Responses delivered to @p core and not yet consumed. The core
@@ -127,10 +175,10 @@ class MemSystem
     Cycle nextSelfEventAt(Cycle now) const;
 
     /** Horizon-cache hits (per-channel bound served from cache). */
-    std::uint64_t horizonHits() const { return horizonHits_; }
+    std::uint64_t horizonHits() const;
 
     /** Horizon-cache misses (per-channel bound recomputed). */
-    std::uint64_t horizonMisses() const { return horizonMisses_; }
+    std::uint64_t horizonMisses() const;
 
     /** Total bytes moved over all DRAM data buses. */
     std::uint64_t dramBytes() const;
@@ -162,6 +210,11 @@ class MemSystem
     void tickChannel(unsigned ch, Cycle now);
     void deliverResponses(Cycle now);
 
+    /** tickChannel() variant that parks load completions in the
+     *  channel's mailbox instead of sending responses (the response
+     *  network is shared; the coordinator routes them). */
+    void tickChannelSharded(unsigned ch, Cycle now);
+
     /**
      * Cached nextEventAt() of channel @p ch, recomputed only when the
      * channel's state version moved. A cached future bound proves the
@@ -183,26 +236,52 @@ class MemSystem
     std::vector<MemRequest> completedScratch_;
     std::vector<CoreId> deliveredTo_; //!< cores woken by the last tick
 
-    /** Per-channel horizon cache entry (see channelHorizonAt()). */
+    /**
+     * Per-channel horizon cache entry (see channelHorizonAt()). The
+     * hit/miss counters live here, plain, rather than as shared
+     * atomics: horizon queries are the hottest path of a skip-heavy
+     * run, and under the sharded protocol each entry is only ever
+     * touched by its channel's owner within a phase (the coordinator
+     * reads all entries, but only while the workers are parked), so a
+     * plain increment inherits the same safety argument as the cached
+     * version/horizon fields themselves.
+     */
     struct ChanHorizon
     {
         std::uint64_t version = ~0ULL;
         Cycle horizon = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
     };
     mutable std::vector<ChanHorizon> chanHorizons_;
-    mutable std::uint64_t horizonHits_ = 0;
-    mutable std::uint64_t horizonMisses_ = 0;
 
     /**
      * Requests currently in an MRQ, a network, or a channel (buffered,
      * in service, or as undelivered responses). Inter-core merges and
      * per-sharer response fan-out adjust the count so that drained()
      * is a counter comparison instead of a full scan.
+     *
+     * Atomic with relaxed ordering: under the sharded protocol several
+     * shards adjust these inside one phase, but every adjustment is a
+     * commutative sum and every read happens on the far side of an
+     * epoch barrier, so the observed values are exactly the serial
+     * loop's (DESIGN.md §10).
      */
-    std::uint64_t inTransit_ = 0;
-    std::uint64_t mrqOccupancy_ = 0;       //!< of which still in an MRQ
-    std::uint64_t completionsPending_ = 0; //!< awaiting core drain
+    std::atomic<std::uint64_t> inTransit_ {0};
+    std::atomic<std::uint64_t> mrqOccupancy_ {0}; //!< still in an MRQ
+    std::atomic<std::uint64_t> completionsPending_ {0}; //!< await drain
     std::uint64_t injCreditStalls_ = 0;    //!< credit-gated inject skips
+
+    // Sharded-protocol state (DESIGN.md §10).
+    bool sharded_ = false;
+    /** Per-core upgrade mailboxes: owner-written during the parallel
+     *  core phase, drained same-cycle by channel owners in ascending
+     *  core order, cleared by finishShardedTick(). */
+    std::vector<std::vector<Addr>> deferredUpgrades_;
+    std::atomic<std::uint64_t> deferredCount_ {0};
+    /** Per-channel completion mailboxes for tickChannelSharded(). */
+    std::vector<std::vector<MemRequest>> chanCompleted_;
+
     obs::TraceRecorder *tracer_ = nullptr;
 };
 

@@ -66,6 +66,9 @@ Gpu::attachObserver(obs::Observer *obs)
     obs_ = obs;
     obs::TraceRecorder *tracer = obs->tracer();
     if (tracer) {
+        // Lifecycle hooks fire inside component ticks; a traced run
+        // falls back to the serial schedule (effectiveShards() == 1).
+        tracerAttached_ = true;
         mem_->setTracer(tracer);
         for (auto &core : cores_)
             core->setTracer(tracer);
@@ -375,15 +378,35 @@ Gpu::skipTo(Cycle target)
     now_ = target;
 }
 
+unsigned
+Gpu::effectiveShards() const
+{
+    unsigned s = std::min(cfg_.shards,
+                          static_cast<unsigned>(cores_.size()));
+    if (s == 0)
+        s = 1;
+    if (tracerAttached_)
+        s = 1;
+    return s;
+}
+
 RunResult
 Gpu::run()
 {
-    if (!cfg_.fastForward)
+    if (!cfg_.fastForward) {
         runNaive();
-    else if (cfg_.eventQueue)
-        runQueued();
-    else
+    } else if (!cfg_.eventQueue) {
         runLegacy();
+    } else {
+        ranShards_ = effectiveShards();
+        if (ranShards_ > 1) {
+            mem_->setSharded(true);
+            runSharded(ranShards_);
+            mem_->setSharded(false);
+        } else {
+            runQueued();
+        }
+    }
     RunResult result = summarize();
 #if MTP_OBS_ENABLED
     if (obs_)
@@ -578,6 +601,254 @@ Gpu::runQueued()
             cores_[c]->accountSkip(coreSettledTo_[c], now_);
 }
 
+namespace {
+
+// EpochBarrier commands: the cycle to execute, tagged with the phase.
+constexpr std::uint64_t kCmdCoreTick = 0;
+constexpr std::uint64_t kCmdMemTick = 1;
+constexpr std::uint64_t kCmdExit = 2;
+
+inline std::uint64_t
+encodeCmd(Cycle t, std::uint64_t op)
+{
+    return (static_cast<std::uint64_t>(t) << 2) | op;
+}
+
+} // namespace
+
+void
+Gpu::shardCoreTick(unsigned s, Cycle t)
+{
+    ShardState &sh = shards_[s];
+    EventQueue &q = sh.queue;
+    unsigned busy_delta = 0;
+    bool wake = false;
+    // The exact per-core body of runQueued()'s core phase, restricted
+    // to the owned range: everything it touches — the core, its MRQ,
+    // its settle cursor, its queue slot — is shard-local; the issue()
+    // counters it bumps are relaxed atomics (commutative sums).
+    for (CoreId c = sh.coreLo; c < sh.coreHi; ++c) {
+        if (q.key(c - sh.coreLo) > t)
+            continue;
+        q.notePop();
+        Core &core = *cores_[c];
+        if (coreSettledTo_[c] < t)
+            core.accountSkip(coreSettledTo_[c], t);
+        bool was_busy = !core.idle();
+        bool had_capacity = core.hasBlockCapacity();
+        ++sh.coreTicks;
+        core.tick(t);
+        if (was_busy && core.idle())
+            ++busy_delta;
+        coreSettledTo_[c] = t + 1;
+        q.arm(c - sh.coreLo, core.nextEventAt(t + 1));
+        if (!had_capacity && core.hasBlockCapacity() &&
+            blocksPendingFor(c))
+            wake = true;
+    }
+    sh.busyDelta = busy_delta;
+    sh.wakeDispatch = wake;
+}
+
+void
+Gpu::shardMemTick(unsigned s, Cycle t)
+{
+    const ShardState &sh = shards_[s];
+    if (sh.chanLo < sh.chanHi)
+        mem_->tickShardChannels(sh.chanLo, sh.chanHi, t);
+}
+
+void
+Gpu::shardWorker(unsigned s)
+{
+    // Workers serve shards 1..S-1; barrier slot ids are 0-based.
+    const unsigned slot = s - 1;
+    for (;;) {
+        std::uint64_t cmd = barrier_->awaitCommand(slot);
+        Cycle t = static_cast<Cycle>(cmd >> 2);
+        switch (cmd & 3) {
+          case kCmdCoreTick:
+            shardCoreTick(s, t);
+            break;
+          case kCmdMemTick:
+            shardMemTick(s, t);
+            break;
+          default:
+            return;
+        }
+        barrier_->arrive(slot);
+    }
+}
+
+void
+Gpu::runSharded(unsigned numShards)
+{
+    const auto n = static_cast<unsigned>(cores_.size());
+    const unsigned S = numShards;
+    const unsigned C = mem_->numChannels();
+    MTP_ASSERT(S > 1 && S <= n, "bad shard count ", S);
+
+    // Coordinator queue slots; cores live in the shard queues.
+    constexpr std::size_t memId = 0;
+    constexpr std::size_t dispatchId = 1;
+    constexpr std::size_t samplerId = 2;
+    queue_.reset(3);
+    coreSettledTo_.assign(n, 0);
+    rrSyncedAt_ = 0;
+    queue_.arm(samplerId, invalidCycle);
+#if MTP_OBS_ENABLED
+    if (obs_)
+        queue_.arm(samplerId, obs_->sampler().nextSampleAt());
+#endif
+
+    // Balanced contiguous partitions; trailing shards may own zero
+    // channels when C < S (their mem phase is then a no-op).
+    shards_.assign(S, ShardState{});
+    shardOfCore_.assign(n, 0);
+    for (unsigned s = 0; s < S; ++s) {
+        ShardState &sh = shards_[s];
+        sh.coreLo = n * s / S;
+        sh.coreHi = n * (s + 1) / S;
+        sh.chanLo = C * s / S;
+        sh.chanHi = C * (s + 1) / S;
+        sh.queue.reset(sh.coreHi - sh.coreLo); // all due at cycle 0
+        for (CoreId c = sh.coreLo; c < sh.coreHi; ++c)
+            shardOfCore_[c] = s;
+    }
+    barrier_ = std::make_unique<EpochBarrier>(S - 1);
+    workers_.clear();
+    workers_.reserve(S - 1);
+    for (unsigned s = 1; s < S; ++s)
+        workers_.emplace_back([this, s] { shardWorker(s); });
+
+    while (!done()) {
+        if (now_ >= cfg_.maxCycles)
+            MTP_FATAL("simulation of '", kernel_.name, "' exceeded ",
+                      cfg_.maxCycles, " cycles; likely deadlock or ",
+                      "an unreasonable configuration");
+        const Cycle t = now_;
+        ++sched_.cyclesStepped;
+#if MTP_SLOW_CHECKS
+        // Same parked-component invariants as runQueued(); checked at
+        // the coordinator while every worker is parked at the barrier.
+        for (CoreId c = 0; c < n; ++c) {
+            const ShardState &sh = shards_[shardOfCore_[c]];
+            if (sh.queue.key(c - sh.coreLo) > t)
+                MTP_ASSERT(cores_[c]->nextEventAt(t) > t &&
+                               mem_->completions(c).empty(),
+                           "parked core ", c, " is actionable at ", t);
+        }
+        MTP_ASSERT(!mem_->hasDeferredUpgrades(),
+                   "upgrade mailboxes survived a cycle boundary");
+        if (queue_.key(memId) > t)
+            MTP_ASSERT(mem_->mrqOccupancy() == 0 &&
+                           mem_->nextSelfEventAt(t) > t,
+                       "parked memory system is actionable at ", t);
+        if (queue_.key(dispatchId) > t)
+            MTP_ASSERT(!dispatchPossible(),
+                       "parked dispatcher is actionable at ", t);
+#endif
+        // Dispatch stays serial (one shared grid cursor set); it arms
+        // dispatched cores on their owning shard's queue.
+        if (queue_.key(dispatchId) <= t) {
+            queue_.notePop();
+            if (!cfg_.dispatchContiguous && t > rrSyncedAt_)
+                rrStartCore_ = static_cast<unsigned>(
+                    (rrStartCore_ + (t - rrSyncedAt_)) % n);
+            dispatchBlocks();
+            rrSyncedAt_ = t + 1; // dispatchBlocks rotated once itself
+            for (CoreId c : dispatchedScratch_) {
+                ShardState &sh = shards_[shardOfCore_[c]];
+                sh.queue.armEarlier(c - sh.coreLo, t);
+            }
+            queue_.arm(dispatchId,
+                       dispatchPossible() ? t + 1 : invalidCycle);
+        }
+        // Core phase: every shard in parallel, coordinator as shard 0.
+        barrier_->release(encodeCmd(t, kCmdCoreTick));
+        shardCoreTick(0, t);
+        barrier_->awaitAll();
+        for (ShardState &sh : shards_) {
+            MTP_ASSERT(busyCores_ >= sh.busyDelta, "busy-core underflow");
+            busyCores_ -= sh.busyDelta;
+            if (sh.wakeDispatch)
+                queue_.armEarlier(dispatchId, t + 1);
+        }
+        // Mem phase: the runQueued() gate plus deferred upgrades —
+        // running it then is a no-op except the upgrade application
+        // (which the serial loop performed inside this same cycle).
+        if (queue_.key(memId) <= t || mem_->mrqOccupancy() > 0 ||
+            mem_->hasDeferredUpgrades()) {
+            queue_.notePop();
+            barrier_->release(encodeCmd(t, kCmdMemTick));
+            shardMemTick(0, t);
+            barrier_->awaitAll();
+            mem_->finishShardedTick(t);
+            for (CoreId c : mem_->deliveredCores()) {
+                ShardState &sh = shards_[shardOfCore_[c]];
+                sh.queue.armEarlier(c - sh.coreLo, t + 1);
+            }
+            queue_.arm(memId, mem_->nextSelfEventAt(t + 1));
+        }
+        if ((t & 127) == 0) {
+            for (auto &core : cores_) {
+                unsigned a = core->activeWarps();
+                if (a > 0) {
+                    activeWarpSum_ += a;
+                    ++activeWarpSamples_;
+                }
+            }
+        }
+#if MTP_OBS_ENABLED
+        if (obs_ && queue_.key(samplerId) <= t) {
+            queue_.notePop();
+            for (CoreId c = 0; c < n; ++c) {
+                if (coreSettledTo_[c] <= t) {
+                    cores_[c]->accountSkip(coreSettledTo_[c], t + 1);
+                    coreSettledTo_[c] = t + 1;
+                }
+            }
+            obs_->sampler().sample(t);
+            queue_.arm(samplerId, obs_->sampler().nextSampleAt());
+        }
+#endif
+        now_ = t + 1;
+        bool finished = done();
+        if (!finished) {
+            // Jump to the joint cross-shard horizon: the earliest
+            // armed cycle over the coordinator queue and every shard
+            // queue. No component of any shard can act before it, so
+            // the whole window is barrier-free.
+            ++sched_.skipAttempts;
+            Cycle next = queue_.earliest();
+            for (ShardState &sh : shards_)
+                next = std::min(next, sh.queue.earliest());
+            Cycle target = std::min(next, cfg_.maxCycles);
+            if (target > now_) {
+                bulkWarpSamples(now_, target);
+                sched_.cyclesSkipped += target - now_;
+                ++sched_.skipSuccesses;
+                now_ = target;
+            }
+        }
+        ++epochCount_;
+        const Cycle len = now_ - t;
+        epochCycleSum_ += len;
+        if (len > epochCycleMax_)
+            epochCycleMax_ = len;
+        if (finished)
+            break;
+    }
+    // Park the workers for good, then settle trailing core windows.
+    barrier_->release(encodeCmd(now_, kCmdExit));
+    for (std::thread &w : workers_)
+        w.join();
+    workers_.clear();
+    for (CoreId c = 0; c < n; ++c)
+        if (coreSettledTo_[c] < now_)
+            cores_[c]->accountSkip(coreSettledTo_[c], now_);
+}
+
 RunResult
 Gpu::summarize() const
 {
@@ -657,18 +928,25 @@ Gpu::summarize() const
     r.sched.add("sim.sched.skipSuccesses",
                 static_cast<double>(sched_.skipSuccesses),
                 "fast-forward jumps that moved the clock");
-    r.sched.add("sim.sched.coreTicks",
-                static_cast<double>(sched_.coreTicks),
+    // In sharded mode core ticks and queue traffic happen on the
+    // per-shard queues; fold them into the run-wide totals.
+    std::uint64_t core_ticks = sched_.coreTicks;
+    std::uint64_t pushes = queue_.pushes();
+    std::uint64_t pops = queue_.pops();
+    for (const ShardState &sh : shards_) {
+        core_ticks += sh.coreTicks;
+        pushes += sh.queue.pushes();
+        pops += sh.queue.pops();
+    }
+    r.sched.add("sim.sched.coreTicks", static_cast<double>(core_ticks),
                 "per-core tick() calls executed");
     std::uint64_t elided =
-        sched_.cyclesStepped * cores_.size() - sched_.coreTicks;
+        sched_.cyclesStepped * cores_.size() - core_ticks;
     r.sched.add("sim.sched.coreTicksElided", static_cast<double>(elided),
                 "core ticks skipped by the event queue");
-    r.sched.add("sim.sched.queuePushes",
-                static_cast<double>(queue_.pushes()),
+    r.sched.add("sim.sched.queuePushes", static_cast<double>(pushes),
                 "event-queue arm operations");
-    r.sched.add("sim.sched.queuePops",
-                static_cast<double>(queue_.pops()),
+    r.sched.add("sim.sched.queuePops", static_cast<double>(pops),
                 "event-queue due-component pops");
     r.sched.add("sim.sched.horizonHits",
                 static_cast<double>(mem_->horizonHits()),
@@ -676,6 +954,30 @@ Gpu::summarize() const
     r.sched.add("sim.sched.horizonMisses",
                 static_cast<double>(mem_->horizonMisses()),
                 "DRAM channel horizon-cache recomputes");
+    r.sched.add("sim.sched.shards", static_cast<double>(ranShards_),
+                "worker shards used by the run loop");
+    if (barrier_) {
+        r.sched.add("sim.sched.barrierEpochs",
+                    static_cast<double>(epochCount_),
+                    "epoch-barrier rounds (stepped cycles + skips)");
+        double mean = epochCount_ ? static_cast<double>(epochCycleSum_) /
+                                        static_cast<double>(epochCount_)
+                                  : 0.0;
+        r.sched.add("sim.sched.barrierEpochCyclesMean", mean,
+                    "mean simulated cycles covered per epoch");
+        r.sched.add("sim.sched.barrierEpochCyclesMax",
+                    static_cast<double>(epochCycleMax_),
+                    "largest simulated-cycle span of one epoch");
+        r.sched.add("sim.sched.barrierWaitNs.coordinator",
+                    static_cast<double>(barrier_->coordinatorWaitNs()),
+                    "coordinator ns blocked awaiting shard arrivals");
+        for (unsigned w = 0; w < barrier_->workers(); ++w) {
+            r.sched.add("sim.sched.barrierWaitNs.shard" +
+                            std::to_string(w + 1),
+                        static_cast<double>(barrier_->workerWaitNs(w)),
+                        "shard ns blocked awaiting epoch commands");
+        }
+    }
     return r;
 }
 

@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/epoch_barrier.hh"
 #include "common/stats.hh"
 #include "mem/mem_system.hh"
 #include "obs/observer.hh"
@@ -161,6 +163,33 @@ class Gpu
      */
     void runQueued();
 
+    /**
+     * Epoch-sharded event-queue schedule (DESIGN.md §10): cores and
+     * DRAM channels are partitioned into @p numShards shards, each
+     * with its own EventQueue; every stepped cycle runs the core and
+     * mem phases across all shards in parallel (the coordinator thread
+     * executes shard 0) with EpochBarrier rendezvous between phases,
+     * then skips to the joint cross-shard horizon. Bit-identical to
+     * runQueued() for every shard count.
+     */
+    void runSharded(unsigned numShards);
+
+    /**
+     * Shards the run loop will actually use: cfg_.shards clamped to
+     * the core count, and 1 when a lifecycle tracer is attached (its
+     * hooks would fire inside parallel phases).
+     */
+    unsigned effectiveShards() const;
+
+    /** One shard's core phase of stepped cycle @p t. */
+    void shardCoreTick(unsigned s, Cycle t);
+
+    /** One shard's mem phase of stepped cycle @p t. */
+    void shardMemTick(unsigned s, Cycle t);
+
+    /** Body of worker thread for shard @p s (s >= 1). */
+    void shardWorker(unsigned s);
+
     /** Hand out grid blocks to cores with free occupancy slots. */
     void dispatchBlocks();
 
@@ -228,6 +257,37 @@ class Gpu
         std::uint64_t coreTicks = 0;
     };
     SchedCounters sched_;
+
+    // Sharded-schedule state (runSharded(); empty for serial runs).
+    /**
+     * One shard's partition, event queue and per-phase scratch.
+     * Cacheline-aligned: the owning thread re-arms its queue and
+     * updates its counters inside parallel phases, and adjacent
+     * shards' state must not false-share.
+     */
+    struct alignas(64) ShardState
+    {
+        unsigned coreLo = 0, coreHi = 0; //!< owned cores [lo, hi)
+        unsigned chanLo = 0, chanHi = 0; //!< owned channels [lo, hi)
+        EventQueue queue; //!< slot i = core coreLo + i
+        std::uint64_t coreTicks = 0;
+        /** Cores gone busy->idle during the last core phase. */
+        unsigned busyDelta = 0;
+        /** A core freed an occupancy slot with blocks still pending. */
+        bool wakeDispatch = false;
+    };
+    std::vector<ShardState> shards_;
+    std::vector<unsigned> shardOfCore_;
+    std::unique_ptr<EpochBarrier> barrier_;
+    std::vector<std::thread> workers_;
+    unsigned ranShards_ = 1; //!< shards the last run() actually used
+    bool tracerAttached_ = false;
+
+    // Epoch accounting (sim.sched.barrier*): one epoch per coordinator
+    // iteration — a stepped cycle plus the joint-horizon skip after it.
+    std::uint64_t epochCount_ = 0;
+    std::uint64_t epochCycleSum_ = 0;
+    std::uint64_t epochCycleMax_ = 0;
 
     obs::Observer *obs_ = nullptr;
     std::unique_ptr<obs::Observer> ownedObs_; //!< env-alias fallback

@@ -149,6 +149,49 @@ TEST(FastForwardGolden, MatrixIdentical)
 }
 
 /**
+ * Epoch-sharded golden matrix (DESIGN.md §10): every configuration and
+ * kernel of the golden matrix must reproduce the serial shards=1 run
+ * byte for byte at shards = 2 and 4. The machine is widened to 5 cores
+ * and 3 DRAM channels so four shards get ragged partitions — unequal
+ * core counts and a shard that owns no channel at all — which is where
+ * partition or mailbox-routing bugs would surface.
+ */
+TEST(FastForwardGolden, ShardedMatrixIdentical)
+{
+    for (const auto &[cname, base] : goldenConfigs()) {
+        SimConfig cfg = base;
+        cfg.numCores = 5;
+        cfg.dramChannels = 3;
+        for (const auto &[kname, kernel] : goldenKernels()) {
+            RunResult serial = simulate(cfg, kernel);
+            for (unsigned s : {2u, 4u}) {
+                SimConfig sharded = cfg;
+                sharded.shards = s;
+                expectBitIdentical(simulate(sharded, kernel), serial,
+                                   cname + "/" + kname + "/shards=" +
+                                       std::to_string(s));
+            }
+        }
+    }
+}
+
+/**
+ * Requesting more shards than cores must clamp (two cores cannot feed
+ * eight workers) and still reproduce the serial run byte for byte.
+ */
+TEST(FastForwardGolden, ShardsClampToCoreCount)
+{
+    KernelDesc kernel = test::tinyStreamKernel(2, 4, 4, 1);
+    SimConfig cfg = test::tinyConfig();
+    RunResult serial = simulate(cfg, kernel);
+    SimConfig oversharded = cfg;
+    oversharded.shards = 8;
+    RunResult r = simulate(oversharded, kernel);
+    expectBitIdentical(r, serial, "shards=8 on 2 cores");
+    EXPECT_DOUBLE_EQ(r.sched.get("sim.sched.shards"), 2.0);
+}
+
+/**
  * Cycle accounting across the matrix: the nine exclusive categories of
  * every core must sum to the elapsed cycles in every configuration
  * (MatrixIdentical already proves fast == naive byte-for-byte on the
