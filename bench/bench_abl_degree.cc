@@ -6,55 +6,73 @@
  * mostly turn into early evictions at a 16 KB prefetch cache.
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+FigureResult
+run(Runner &runner, const Options &opts)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("MT-HWP prefetch degree ablation",
-                  "Sec. II-C3 / VIII default-degree choice", opts);
-    bench::Runner runner(opts);
-    auto names = bench::selectBenchmarks(opts, bench::sweepSubset());
-
-    std::printf("\n%-9s |", "bench");
+    auto names = selectBenchmarks(opts, sweepSubset());
     const unsigned degrees[] = {1, 2, 3, 4};
-    for (unsigned d : degrees)
-        std::printf("   deg%u  early%u", d, d);
-    std::printf("\n");
 
     // Submit the whole degree sweep up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         runner.submitBaseline(w);
         for (unsigned d : degrees) {
-            SimConfig cfg = bench::baseConfig(opts);
+            SimConfig cfg = baseConfig(opts);
             cfg.hwPref = HwPrefKind::MTHWP;
             cfg.prefDegree = d;
             runner.submit(cfg, w.kernel);
         }
     }
 
+    FigureResult out;
+    Table t;
+    t.name = "degree-sweep";
+    t.columns = {"bench"};
+    for (unsigned d : degrees) {
+        t.columns.push_back("deg" + std::to_string(d));
+        t.columns.push_back("early" + std::to_string(d));
+    }
     std::vector<std::vector<double>> per_degree(4);
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);
-        std::printf("%-9s |", name.c_str());
+        std::vector<Cell> row = {Cell::str(name)};
         for (unsigned i = 0; i < 4; ++i) {
-            SimConfig cfg = bench::baseConfig(opts);
+            SimConfig cfg = baseConfig(opts);
             cfg.hwPref = HwPrefKind::MTHWP;
             cfg.prefDegree = degrees[i];
             const RunResult &r = runner.run(cfg, w.kernel);
             double spd = static_cast<double>(base.cycles) / r.cycles;
             per_degree[i].push_back(spd);
-            std::printf(" %6.2f  %6.2f", spd, r.earlyRatio());
+            row.push_back(Cell::number(spd));
+            row.push_back(Cell::number(r.earlyRatio()));
         }
-        std::printf("\n");
+        t.addRow(std::move(row));
     }
-    std::printf("%-9s |", "geomean");
+    out.tables.push_back(std::move(t));
     for (unsigned i = 0; i < 4; ++i)
-        std::printf(" %6.2f        ", bench::geomean(per_degree[i]));
-    std::printf("\n");
-    return 0;
+        out.metric("geomean.deg" + std::to_string(degrees[i]),
+                   geomean(per_degree[i]));
+    out.notes.push_back("extra requests per trigger mostly turn into "
+                        "early evictions at a 16 KB prefetch cache — "
+                        "degree 1 stays the default");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specAblDegree()
+{
+    return {"abl_degree", "MT-HWP prefetch degree ablation",
+            "Sec. II-C3 / VIII", &run};
+}
+
+} // namespace bench
+} // namespace mtp

@@ -13,29 +13,26 @@
  * core" (Sec. III-A2).
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+FigureResult
+run(Runner &runner, const Options &opts)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("Block-dispatch / warp-scheduling locality ablation",
-                  "Sec. III-A2's cross-core-IP caveat", opts);
-    bench::Runner runner(opts);
     // IP-sensitive benchmarks: the mp/uncoal classes.
-    std::vector<std::string> fallback = {"backprop", "cell",  "ocean",
-                                         "bfs",      "cfd",   "linear",
+    std::vector<std::string> fallback = {"backprop", "cell", "ocean",
+                                         "bfs",      "cfd",  "linear",
                                          "sepia"};
-    auto names = bench::selectBenchmarks(opts, fallback);
+    auto names = selectBenchmarks(opts, fallback);
 
-    std::printf("\n%-9s | %10s %10s %10s\n", "bench", "contig",
-                "rr-blocks", "rr-warps");
     // Submit the whole matrix up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         for (unsigned i = 0; i < 3; ++i) {
-            SimConfig base_cfg = bench::baseConfig(opts);
+            SimConfig base_cfg = baseConfig(opts);
             base_cfg.dispatchContiguous = i != 1;
             base_cfg.schedGreedy = i != 2;
             runner.submit(base_cfg, w.kernel);
@@ -44,29 +41,51 @@ main(int argc, char **argv)
             runner.submit(cfg, w.kernel);
         }
     }
+
+    FigureResult out;
+    Table t;
+    t.name = "locality";
+    t.columns = {"bench", "contig", "rr-blocks", "rr-warps"};
     std::vector<double> g[3];
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
-        double spd[3];
+        std::vector<Cell> row = {Cell::str(name)};
         for (unsigned i = 0; i < 3; ++i) {
-            SimConfig base_cfg = bench::baseConfig(opts);
+            SimConfig base_cfg = baseConfig(opts);
             base_cfg.dispatchContiguous = i != 1;
             base_cfg.schedGreedy = i != 2;
             const RunResult &base = runner.run(base_cfg, w.kernel);
             SimConfig cfg = base_cfg;
             cfg.hwPref = HwPrefKind::MTHWP;
             const RunResult &r = runner.run(cfg, w.kernel);
-            spd[i] = static_cast<double>(base.cycles) / r.cycles;
-            g[i].push_back(spd[i]);
+            double spd = static_cast<double>(base.cycles) / r.cycles;
+            g[i].push_back(spd);
+            row.push_back(Cell::number(spd));
         }
-        std::printf("%-9s | %10.2f %10.2f %10.2f\n", name.c_str(),
-                    spd[0], spd[1], spd[2]);
+        t.addRow(std::move(row));
     }
-    std::printf("%-9s | %10.2f %10.2f %10.2f\n", "geomean",
-                bench::geomean(g[0]), bench::geomean(g[1]),
-                bench::geomean(g[2]));
-    std::printf("\n# expectation: IP's benefit shrinks under round-robin\n"
-                "# block dispatch (the target warp's block usually runs\n"
-                "# on another core).\n");
-    return 0;
+    t.addRow({Cell::str("geomean"), Cell::number(geomean(g[0])),
+              Cell::number(geomean(g[1])),
+              Cell::number(geomean(g[2]))});
+    out.tables.push_back(std::move(t));
+    out.metric("geomean.contig", geomean(g[0]));
+    out.metric("geomean.rr-blocks", geomean(g[1]));
+    out.metric("geomean.rr-warps", geomean(g[2]));
+    out.notes.push_back("expectation: IP's benefit shrinks under "
+                        "round-robin block dispatch (the target warp's "
+                        "block usually runs on another core)");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specAblLocality()
+{
+    return {"abl_locality",
+            "Block-dispatch / warp-scheduling locality ablation",
+            "Sec. III-A2", &run};
+}
+
+} // namespace bench
+} // namespace mtp

@@ -6,61 +6,82 @@
  * moving its thresholds out of reach. Run on MT-HWP.
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+SimConfig
+configFor(const Options &opts, unsigned i)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("Throttle metric ablation",
-                  "Sec. V-A (early-eviction rate vs. merge ratio)",
-                  opts);
-    bench::Runner runner(opts);
-    auto names = bench::selectBenchmarks(
-        opts, Suite::memoryIntensiveNames());
+    SimConfig cfg = baseConfig(opts);
+    cfg.hwPref = HwPrefKind::MTHWP;
+    cfg.throttleEnable = i != 0;
+    if (i == 2) {
+        // Early-eviction rule only: merge always reads high.
+        cfg.mergeHigh = -1.0;
+    } else if (i == 3) {
+        // Merge rule only: early rate never trips its bands.
+        cfg.earlyEvictLow = 1e18;
+        cfg.earlyEvictHigh = 1e19;
+    }
+    return cfg;
+}
 
-    std::printf("\n%-9s | %9s %9s %10s %10s\n", "bench", "no-throt",
-                "both", "earlyOnly", "mergeOnly");
-    auto configFor = [&](unsigned i) {
-        SimConfig cfg = bench::baseConfig(opts);
-        cfg.hwPref = HwPrefKind::MTHWP;
-        cfg.throttleEnable = i != 0;
-        if (i == 2) {
-            // Early-eviction rule only: merge always reads high.
-            cfg.mergeHigh = -1.0;
-        } else if (i == 3) {
-            // Merge rule only: early rate never trips its bands.
-            cfg.earlyEvictLow = 1e18;
-            cfg.earlyEvictHigh = 1e19;
-        }
-        return cfg;
-    };
+FigureResult
+run(Runner &runner, const Options &opts)
+{
+    auto names = selectBenchmarks(opts, Suite::memoryIntensiveNames());
     // Submit the whole matrix up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         runner.submitBaseline(w);
         for (unsigned i = 0; i < 4; ++i)
-            runner.submit(configFor(i), w.kernel);
+            runner.submit(configFor(opts, i), w.kernel);
     }
+
+    FigureResult out;
+    Table t;
+    t.name = "throttle-metrics";
+    t.columns = {"bench", "no-throt", "both", "earlyOnly", "mergeOnly"};
     std::vector<double> g[4];
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);
-        double spd[4];
+        std::vector<Cell> row = {Cell::str(name)};
         for (unsigned i = 0; i < 4; ++i) {
-            const RunResult &r = runner.run(configFor(i), w.kernel);
-            spd[i] = static_cast<double>(base.cycles) / r.cycles;
-            g[i].push_back(spd[i]);
+            const RunResult &r =
+                runner.run(configFor(opts, i), w.kernel);
+            double spd = static_cast<double>(base.cycles) / r.cycles;
+            g[i].push_back(spd);
+            row.push_back(Cell::number(spd));
         }
-        std::printf("%-9s | %9.2f %9.2f %10.2f %10.2f\n", name.c_str(),
-                    spd[0], spd[1], spd[2], spd[3]);
+        t.addRow(std::move(row));
     }
-    std::printf("%-9s | %9.2f %9.2f %10.2f %10.2f\n", "geomean",
-                bench::geomean(g[0]), bench::geomean(g[1]),
-                bench::geomean(g[2]), bench::geomean(g[3]));
-    std::printf("\n# the early-eviction rate is the primary signal\n"
-                "# (Sec. V-A); the merge ratio alone cannot identify\n"
-                "# harmful prefetching, it only confirms useful flow.\n");
-    return 0;
+    t.addRow({Cell::str("geomean"), Cell::number(geomean(g[0])),
+              Cell::number(geomean(g[1])), Cell::number(geomean(g[2])),
+              Cell::number(geomean(g[3]))});
+    out.tables.push_back(std::move(t));
+    out.metric("geomean.no-throt", geomean(g[0]));
+    out.metric("geomean.both", geomean(g[1]));
+    out.metric("geomean.earlyOnly", geomean(g[2]));
+    out.metric("geomean.mergeOnly", geomean(g[3]));
+    out.notes.push_back("the early-eviction rate is the primary signal "
+                        "(Sec. V-A); the merge ratio alone cannot "
+                        "identify harmful prefetching, it only "
+                        "confirms useful flow");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specAblThrottleMetrics()
+{
+    return {"abl_throttle_metrics", "Throttle metric ablation",
+            "Sec. V-A", &run};
+}
+
+} // namespace bench
+} // namespace mtp

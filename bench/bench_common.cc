@@ -5,15 +5,37 @@
 #include <cstring>
 #include <sstream>
 
+#include "driver/fingerprint.hh"
+
 namespace mtp {
 namespace bench {
 
 Options
-parseArgs(int argc, char **argv)
+parseArgs(int argc, char **argv, const std::vector<FlagSpec> &extra,
+          const std::string &extraUsage)
 {
     Options opts;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        // Harness-specific flags match first so a harness can shadow
+        // a common flag with its own shape.
+        const FlagSpec *matched = nullptr;
+        for (const auto &spec : extra) {
+            if (arg == spec.name) {
+                matched = &spec;
+                break;
+            }
+        }
+        if (matched) {
+            std::string value;
+            if (matched->takesValue) {
+                if (i + 1 >= argc)
+                    MTP_FATAL("flag '", arg, "' expects a value");
+                value = argv[++i];
+            }
+            matched->handler(value);
+            continue;
+        }
         if (arg == "--scale" && i + 1 < argc) {
             opts.scaleDiv = static_cast<unsigned>(
                 std::stoul(argv[++i]));
@@ -40,16 +62,24 @@ parseArgs(int argc, char **argv)
                 std::stoull(argv[++i]));
         } else if (arg == "--trace-out" && i + 1 < argc) {
             opts.traceOut = argv[++i];
+        } else if (arg == "--json" && i + 1 < argc) {
+            opts.jsonOut = argv[++i];
+        } else if (arg == "--quiet" || arg == "-q") {
+            opts.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--scale N] [--bench a,b,...] "
                         "[--jobs N] [--shards N] [--sample-period N] "
-                        "[--trace-out file.json] [key=value ...]\n",
-                        argv[0]);
+                        "[--trace-out file.json] [--json file.json] "
+                        "[--quiet]%s%s [key=value ...]\n",
+                        argv[0], extraUsage.empty() ? "" : " ",
+                        extraUsage.c_str());
             std::exit(0);
-        } else if (arg.find('=') != std::string::npos) {
+        } else if (arg.find('=') != std::string::npos &&
+                   arg.rfind("--", 0) != 0) {
             opts.overrides.push_back(arg);
         } else {
-            MTP_FATAL("unknown argument '", arg, "'");
+            MTP_FATAL("unknown argument '", arg,
+                      "' (see --help for the accepted flags)");
         }
     }
     return opts;
@@ -104,6 +134,25 @@ sweepSubset()
         "cfd", "sepia",              // uncoal-type
     };
     return subset;
+}
+
+void
+Runner::recordFingerprint(const SimConfig &cfg, const KernelDesc &kernel)
+{
+    // Normalize the shard count: sharding is bit-identical by
+    // construction, and manifests must not change across --shards.
+    SimConfig normalized = cfg;
+    normalized.shards = 1;
+    driver::Fingerprint fp = driver::fingerprint(normalized, kernel);
+    driver::Fnv1a cfgHash;
+    cfgHash.add(fp.config);
+    char tag[64];
+    std::snprintf(tag, sizeof(tag), ":%016llx:%016llx",
+                  static_cast<unsigned long long>(cfgHash.value()),
+                  static_cast<unsigned long long>(fp.kernelHash));
+    std::string key = fp.kernelName + tag;
+    if (fpSeen_.insert(key).second)
+        fps_.push_back(std::move(key));
 }
 
 double

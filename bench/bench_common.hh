@@ -13,8 +13,11 @@
 #ifndef MTP_BENCH_BENCH_COMMON_HH
 #define MTP_BENCH_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "mtprefetch/mtprefetch.hh"
@@ -31,13 +34,33 @@ struct Options
     unsigned shards = 1;        //!< intra-run worker threads (--shards)
     Cycle samplePeriod = 0;     //!< --sample-period (0 = no sampling)
     std::string traceOut;       //!< --trace-out Chrome trace base path
+    std::string jsonOut;        //!< --json machine-readable output path
+    bool quiet = false;         //!< --quiet: suppress human tables
     std::vector<std::string> overrides; //!< SimConfig key=value pairs
     std::vector<std::string> benchmarks; //!< subset filter (--bench a,b)
 };
 
+/**
+ * A harness-specific flag layered on top of the common CLI. Extra
+ * flags are matched *before* the common set, so a harness can shadow
+ * a common flag when its axis needs a different shape (bench_simrate
+ * reinterprets --shards as a sweep list, for example).
+ */
+struct FlagSpec
+{
+    std::string name;        //!< e.g. "--out"
+    bool takesValue = true;  //!< consumes the following argv entry
+    std::function<void(const std::string &)> handler;
+};
+
 /** Parse argv; recognises --scale, --bench, --jobs, --shards,
- *  --sample-period, --trace-out and key=value overrides. */
-Options parseArgs(int argc, char **argv);
+ *  --sample-period, --trace-out, --json, --quiet, key=value overrides
+ *  and any @p extra harness flags. Unknown flags are fatal with a
+ *  consistent message across every harness. @p extraUsage is appended
+ *  to the --help line. */
+Options parseArgs(int argc, char **argv,
+                  const std::vector<FlagSpec> &extra = {},
+                  const std::string &extraUsage = "");
 
 /**
  * Executor width for @p opts: the explicit --jobs value, or — when
@@ -103,7 +126,8 @@ class Runner
     submit(const SimConfig &cfg, const KernelDesc &kernel,
            const obs::ObsConfig &ocfg = {})
     {
-        cache_.submit(cfg, kernel, ocfg);
+        recordFingerprint(cfg, kernel);
+        cache_.submit(cfg, kernel, effectiveObs(ocfg));
     }
 
     /** Schedule a workload's no-prefetching baseline run. */
@@ -117,7 +141,8 @@ class Runner
     const RunResult &
     run(const SimConfig &cfg, const KernelDesc &kernel)
     {
-        return cache_.result(cfg, kernel);
+        recordFingerprint(cfg, kernel);
+        return cache_.result(cfg, kernel, effectiveObs({}));
     }
 
     /** Baseline (no prefetching) run of a workload's kernel. */
@@ -132,10 +157,48 @@ class Runner
     /** Worker threads actually in use. */
     unsigned jobs() const { return exec_.threads(); }
 
+    /**
+     * Observation applied to submissions whose own ObsConfig is
+     * disabled (the campaign runner's live-progress forwarding). A
+     * caller-provided enabled config still wins; like every ObsConfig
+     * the defaults never enter the fingerprint or change results.
+     */
+    void setObsDefaults(const obs::ObsConfig &ocfg) { obsDefaults_ = ocfg; }
+
+    /** Submissions served from an existing cache entry. */
+    std::uint64_t cacheHits() const { return cache_.hits(); }
+
+    /** Distinct runs scheduled (cache misses). */
+    std::uint64_t cacheMisses() const { return cache_.misses(); }
+
+    /** Runs that have finished executing so far. */
+    std::uint64_t executed() const { return exec_.executed(); }
+
+    /**
+     * Normalized fingerprint tag of every distinct run submitted, in
+     * first-submission order: "<kernel>:<config hash>:<kernel hash>".
+     * The config hash is taken with `shards` forced to 1 — sharding is
+     * bit-identical by construction (DESIGN.md §10), so the manifest
+     * stays byte-identical across --shards settings.
+     */
+    const std::vector<std::string> &fingerprints() const { return fps_; }
+
   private:
+    void recordFingerprint(const SimConfig &cfg,
+                           const KernelDesc &kernel);
+
+    obs::ObsConfig
+    effectiveObs(const obs::ObsConfig &ocfg) const
+    {
+        return ocfg.enabled() || ocfg.forwardSink ? ocfg : obsDefaults_;
+    }
+
     Options opts_;
     driver::ParallelExecutor exec_;
     driver::RunCache cache_;
+    obs::ObsConfig obsDefaults_;
+    std::vector<std::string> fps_;
+    std::unordered_set<std::string> fpSeen_;
 };
 
 } // namespace bench

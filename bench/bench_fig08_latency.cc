@@ -6,44 +6,64 @@
  * accuracy, so accuracy alone cannot flag harmful prefetching.
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+FigureResult
+run(Runner &runner, const Options &opts)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("Normalized memory latency and prefetch accuracy "
-                  "under MT-SWP",
-                  "Fig. 8", opts);
-    bench::Runner runner(opts);
-
-    std::printf("\n%-9s %-7s | %10s %10s %9s | %9s\n", "bench", "type",
-                "lat(base)", "lat(pref)", "normLat", "accuracy");
-    auto names = bench::selectBenchmarks(
-        opts, Suite::memoryIntensiveNames());
+    auto names = selectBenchmarks(opts, Suite::memoryIntensiveNames());
     // Submit the whole matrix up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         runner.submitBaseline(w);
-        runner.submit(bench::baseConfig(opts),
+        runner.submit(baseConfig(opts),
                       w.variant(SwPrefKind::StrideIP));
     }
+
+    FigureResult out;
+    Table t;
+    t.name = "latency";
+    t.columns = {"bench",   "type",    "lat.base",
+                 "lat.pref", "normLat", "accuracy%"};
+    std::vector<double> norms;
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);
         const RunResult &pref = runner.run(
-            bench::baseConfig(opts), w.variant(SwPrefKind::StrideIP));
+            baseConfig(opts), w.variant(SwPrefKind::StrideIP));
         double norm = base.avgDemandLatency > 0
                           ? pref.avgDemandLatency /
                                 base.avgDemandLatency
                           : 0.0;
-        std::printf("%-9s %-7s | %10.1f %10.1f %9.2f | %8.1f%%\n",
-                    name.c_str(), toString(w.info.type).c_str(),
-                    base.avgDemandLatency, pref.avgDemandLatency, norm,
-                    100.0 * pref.accuracy());
+        norms.push_back(norm);
+        t.addRow({Cell::str(name), Cell::str(toString(w.info.type)),
+                  Cell::number(base.avgDemandLatency, 1),
+                  Cell::number(pref.avgDemandLatency, 1),
+                  Cell::number(norm),
+                  Cell::number(100.0 * pref.accuracy(), 1)});
     }
-    std::printf("\n# paper shape: normalized latency 1-3.5x; high even\n"
-                "# when accuracy approaches 100%% (e.g. stream).\n");
-    return 0;
+    out.tables.push_back(std::move(t));
+    out.metric("geomean.normLat", geomean(norms));
+    out.notes.push_back("paper shape: normalized latency 1-3.5x; high "
+                        "even when accuracy approaches 100% (e.g. "
+                        "stream)");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specFig08Latency()
+{
+    return {"fig08_latency",
+            "Normalized memory latency and prefetch accuracy under "
+            "MT-SWP",
+            "Fig. 8", &run};
+}
+
+} // namespace bench
+} // namespace mtp

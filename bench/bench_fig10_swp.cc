@@ -6,36 +6,37 @@
  * and their combination (static MT-SWP).
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+FigureResult
+run(Runner &runner, const Options &opts)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("Software GPGPU prefetching speedups",
-                  "Fig. 10 (Register / Stride / IP / Stride+IP)", opts);
-    bench::Runner runner(opts);
-
-    std::printf("\n%-9s %-7s | %8s %8s %8s %8s\n", "bench", "type",
-                "register", "stride", "ip", "stride+ip");
-    std::vector<double> g_reg, g_str, g_ip, g_sip;
-    auto names = bench::selectBenchmarks(
-        opts, Suite::memoryIntensiveNames());
+    auto names = selectBenchmarks(opts, Suite::memoryIntensiveNames());
     // Submit the whole matrix up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         runner.submitBaseline(w);
-        SimConfig cfg = bench::baseConfig(opts);
+        SimConfig cfg = baseConfig(opts);
         for (SwPrefKind kind :
              {SwPrefKind::Register, SwPrefKind::Stride, SwPrefKind::IP,
               SwPrefKind::StrideIP})
             runner.submit(cfg, w.variant(kind));
     }
+
+    FigureResult out;
+    Table t;
+    t.name = "speedups";
+    t.columns = {"bench", "type",     "register",
+                 "stride", "ip",      "stride+ip"};
+    std::vector<double> g_reg, g_str, g_ip, g_sip;
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);
-        SimConfig cfg = bench::baseConfig(opts);
+        SimConfig cfg = baseConfig(opts);
         auto speedup = [&](SwPrefKind kind) {
             const RunResult &r = runner.run(cfg, w.variant(kind));
             return static_cast<double>(base.cycles) / r.cycles;
@@ -48,16 +49,34 @@ main(int argc, char **argv)
         g_str.push_back(str);
         g_ip.push_back(ip);
         g_sip.push_back(sip);
-        std::printf("%-9s %-7s | %8.2f %8.2f %8.2f %8.2f\n",
-                    name.c_str(), toString(w.info.type).c_str(), reg,
-                    str, ip, sip);
+        t.addRow({Cell::str(name), Cell::str(toString(w.info.type)),
+                  Cell::number(reg), Cell::number(str),
+                  Cell::number(ip), Cell::number(sip)});
     }
-    std::printf("%-17s | %8.2f %8.2f %8.2f %8.2f\n", "geomean",
-                bench::geomean(g_reg), bench::geomean(g_str),
-                bench::geomean(g_ip), bench::geomean(g_sip));
-    std::printf("\n# paper: stride beats register except on stream;\n"
-                "# IP lifts mp/uncoal (backprop, bfs, linear, sepia)\n"
-                "# but degrades ocean; static MT-SWP = stride+IP is\n"
-                "# +12%% over stride alone.\n");
-    return 0;
+    t.addRow({Cell::str("geomean"), Cell::str(""),
+              Cell::number(geomean(g_reg)), Cell::number(geomean(g_str)),
+              Cell::number(geomean(g_ip)),
+              Cell::number(geomean(g_sip))});
+    out.tables.push_back(std::move(t));
+    out.metric("geomean.register", geomean(g_reg));
+    out.metric("geomean.stride", geomean(g_str));
+    out.metric("geomean.ip", geomean(g_ip));
+    out.metric("geomean.stride+ip", geomean(g_sip));
+    out.notes.push_back("paper: stride beats register except on "
+                        "stream; IP lifts mp/uncoal (backprop, bfs, "
+                        "linear, sepia) but degrades ocean; static "
+                        "MT-SWP = stride+IP is +12% over stride alone");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specFig10Swp()
+{
+    return {"fig10_swp", "Software GPGPU prefetching speedups",
+            "Fig. 10", &run};
+}
+
+} // namespace bench
+} // namespace mtp

@@ -5,28 +5,21 @@
  * (stride+IP) and MT-SWP with the throttle engine enabled.
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+FigureResult
+run(Runner &runner, const Options &opts)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("MT-SWP with adaptive throttling",
-                  "Fig. 11 (Register / Stride / MT-SWP / MT-SWP+T)",
-                  opts);
-    bench::Runner runner(opts);
-
-    std::printf("\n%-9s %-7s | %8s %8s %8s %9s\n", "bench", "type",
-                "register", "stride", "mtswp", "mtswp+T");
-    std::vector<double> g_reg, g_str, g_swp, g_thr;
-    auto names = bench::selectBenchmarks(
-        opts, Suite::memoryIntensiveNames());
+    auto names = selectBenchmarks(opts, Suite::memoryIntensiveNames());
     // Submit the whole matrix up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         runner.submitBaseline(w);
-        SimConfig cfg = bench::baseConfig(opts);
+        SimConfig cfg = baseConfig(opts);
         SimConfig thr = cfg;
         thr.throttleEnable = true;
         runner.submit(cfg, w.variant(SwPrefKind::Register));
@@ -34,10 +27,17 @@ main(int argc, char **argv)
         runner.submit(cfg, w.variant(SwPrefKind::StrideIP));
         runner.submit(thr, w.variant(SwPrefKind::StrideIP));
     }
+
+    FigureResult out;
+    Table t;
+    t.name = "speedups";
+    t.columns = {"bench", "type", "register", "stride", "mtswp",
+                 "mtswp+T"};
+    std::vector<double> g_reg, g_str, g_swp, g_thr;
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);
-        SimConfig cfg = bench::baseConfig(opts);
+        SimConfig cfg = baseConfig(opts);
         SimConfig thr = cfg;
         thr.throttleEnable = true;
         auto speedup = [&](const SimConfig &c, SwPrefKind kind) {
@@ -52,15 +52,34 @@ main(int argc, char **argv)
         g_str.push_back(str);
         g_swp.push_back(swp);
         g_thr.push_back(swpt);
-        std::printf("%-9s %-7s | %8.2f %8.2f %8.2f %9.2f\n",
-                    name.c_str(), toString(w.info.type).c_str(), reg,
-                    str, swp, swpt);
+        t.addRow({Cell::str(name), Cell::str(toString(w.info.type)),
+                  Cell::number(reg), Cell::number(str),
+                  Cell::number(swp), Cell::number(swpt)});
     }
-    std::printf("%-17s | %8.2f %8.2f %8.2f %9.2f\n", "geomean",
-                bench::geomean(g_reg), bench::geomean(g_str),
-                bench::geomean(g_swp), bench::geomean(g_thr));
-    std::printf("\n# paper: throttling rescues stream/cell/cfd (late or\n"
-                "# early prefetch floods) while leaving winners alone;\n"
-                "# MT-SWP+T is +16%% over stride, +36%% over baseline.\n");
-    return 0;
+    t.addRow({Cell::str("geomean"), Cell::str(""),
+              Cell::number(geomean(g_reg)), Cell::number(geomean(g_str)),
+              Cell::number(geomean(g_swp)),
+              Cell::number(geomean(g_thr))});
+    out.tables.push_back(std::move(t));
+    out.metric("geomean.register", geomean(g_reg));
+    out.metric("geomean.stride", geomean(g_str));
+    out.metric("geomean.mtswp", geomean(g_swp));
+    out.metric("geomean.mtswp+T", geomean(g_thr));
+    out.notes.push_back("paper: throttling rescues stream/cell/cfd "
+                        "(late or early prefetch floods) while leaving "
+                        "winners alone; MT-SWP+T is +16% over stride, "
+                        "+36% over baseline");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specFig11SwpThrottle()
+{
+    return {"fig11_swp_throttle", "MT-SWP with adaptive throttling",
+            "Fig. 11", &run};
+}
+
+} // namespace bench
+} // namespace mtp

@@ -6,37 +6,36 @@
  * the throttle engine.
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+FigureResult
+run(Runner &runner, const Options &opts)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("Early prefetches and bandwidth under throttling",
-                  "Fig. 12a (early-prefetch ratio) and 12b "
-                  "(normalized bandwidth)",
-                  opts);
-    bench::Runner runner(opts);
-
-    std::printf("\n%-9s %-7s | %9s %9s | %8s %8s\n", "bench", "type",
-                "early", "early+T", "bw", "bw+T");
-    auto names = bench::selectBenchmarks(
-        opts, Suite::memoryIntensiveNames());
+    auto names = selectBenchmarks(opts, Suite::memoryIntensiveNames());
     // Submit the whole matrix up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         runner.submitBaseline(w);
-        SimConfig cfg = bench::baseConfig(opts);
+        SimConfig cfg = baseConfig(opts);
         SimConfig thr = cfg;
         thr.throttleEnable = true;
         runner.submit(cfg, w.variant(SwPrefKind::StrideIP));
         runner.submit(thr, w.variant(SwPrefKind::StrideIP));
     }
+
+    FigureResult out;
+    Table t;
+    t.name = "early-and-bandwidth";
+    t.columns = {"bench", "type", "early", "early+T", "bw", "bw+T"};
+    std::vector<double> g_early, g_earlyT;
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);
-        SimConfig cfg = bench::baseConfig(opts);
+        SimConfig cfg = baseConfig(opts);
         SimConfig thr = cfg;
         thr.throttleEnable = true;
         const RunResult &swp =
@@ -50,11 +49,28 @@ main(int argc, char **argv)
                     static_cast<double>(swp.cycles) / base_bw;
         double bwt = static_cast<double>(swpt.dramBytes) /
                      static_cast<double>(swpt.cycles) / base_bw;
-        std::printf("%-9s %-7s | %9.2f %9.2f | %8.2f %8.2f\n",
-                    name.c_str(), toString(w.info.type).c_str(),
-                    swp.earlyRatio(), swpt.earlyRatio(), bw, bwt);
+        g_early.push_back(swp.earlyRatio());
+        g_earlyT.push_back(swpt.earlyRatio());
+        t.addRow({Cell::str(name), Cell::str(toString(w.info.type)),
+                  Cell::number(swp.earlyRatio()),
+                  Cell::number(swpt.earlyRatio()), Cell::number(bw),
+                  Cell::number(bwt)});
     }
-    std::printf("\n# paper shape: throttling cuts both the early ratio\n"
-                "# and bandwidth for stream, cell and cfd.\n");
-    return 0;
+    out.tables.push_back(std::move(t));
+    out.notes.push_back("paper shape: throttling cuts both the early "
+                        "ratio and bandwidth for stream, cell and cfd");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specFig12EarlyBw()
+{
+    return {"fig12_early_bw",
+            "Early prefetches and bandwidth under throttling",
+            "Fig. 12a/12b", &run};
+}
+
+} // namespace bench
+} // namespace mtp

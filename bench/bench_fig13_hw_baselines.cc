@@ -7,32 +7,28 @@
  * the prefetchers are unstable.
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+FigureResult
+run(Runner &runner, const Options &opts)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("Baseline hardware prefetchers",
-                  "Fig. 13a (original indexing) / 13b (warp-id "
-                  "enhanced)",
-                  opts);
-    bench::Runner runner(opts);
-
     const HwPrefKind kinds[] = {HwPrefKind::StrideRPT,
-                                HwPrefKind::StridePC, HwPrefKind::Stream,
-                                HwPrefKind::GHB};
+                                HwPrefKind::StridePC,
+                                HwPrefKind::Stream, HwPrefKind::GHB};
+    const char *kindNames[] = {"stride", "stridePC", "stream", "ghb"};
 
+    auto names = selectBenchmarks(opts, Suite::memoryIntensiveNames());
     // Submit the whole matrix up front so the runs overlap.
-    auto all_names = bench::selectBenchmarks(
-        opts, Suite::memoryIntensiveNames());
-    for (const auto &name : all_names) {
+    for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         runner.submitBaseline(w);
         for (bool warp_training : {false, true}) {
             for (HwPrefKind kind : kinds) {
-                SimConfig cfg = bench::baseConfig(opts);
+                SimConfig cfg = baseConfig(opts);
                 cfg.hwPref = kind;
                 cfg.hwPrefWarpTraining = warp_training;
                 runner.submit(cfg, w.kernel);
@@ -40,37 +36,57 @@ main(int argc, char **argv)
         }
     }
 
+    FigureResult out;
     for (bool warp_training : {false, true}) {
-        std::printf("\n-- %s --\n",
-                    warp_training ? "Fig. 13b: warp-id indexing"
-                                  : "Fig. 13a: original indexing");
-        std::printf("%-9s %-7s | %8s %9s %8s %8s\n", "bench", "type",
-                    "stride", "stridePC", "stream", "ghb");
+        Table t;
+        t.name = warp_training ? "13b-warp-id-indexing"
+                               : "13a-original-indexing";
+        t.columns = {"bench", "type", "stride", "stridePC", "stream",
+                     "ghb"};
         std::vector<double> g[4];
-        auto names = bench::selectBenchmarks(
-            opts, Suite::memoryIntensiveNames());
         for (const auto &name : names) {
             Workload w = Suite::get(name, opts.scaleDiv);
             const RunResult &base = runner.baseline(w);
-            double spd[4];
+            std::vector<Cell> row = {
+                Cell::str(name), Cell::str(toString(w.info.type))};
             for (unsigned i = 0; i < 4; ++i) {
-                SimConfig cfg = bench::baseConfig(opts);
+                SimConfig cfg = baseConfig(opts);
                 cfg.hwPref = kinds[i];
                 cfg.hwPrefWarpTraining = warp_training;
                 const RunResult &r = runner.run(cfg, w.kernel);
-                spd[i] = static_cast<double>(base.cycles) / r.cycles;
-                g[i].push_back(spd[i]);
+                double spd =
+                    static_cast<double>(base.cycles) / r.cycles;
+                g[i].push_back(spd);
+                row.push_back(Cell::number(spd));
             }
-            std::printf("%-9s %-7s | %8.2f %9.2f %8.2f %8.2f\n",
-                        name.c_str(), toString(w.info.type).c_str(),
-                        spd[0], spd[1], spd[2], spd[3]);
+            t.addRow(std::move(row));
         }
-        std::printf("%-17s | %8.2f %9.2f %8.2f %8.2f\n", "geomean",
-                    bench::geomean(g[0]), bench::geomean(g[1]),
-                    bench::geomean(g[2]), bench::geomean(g[3]));
+        std::vector<Cell> gm = {Cell::str("geomean"), Cell::str("")};
+        for (unsigned i = 0; i < 4; ++i) {
+            gm.push_back(Cell::number(geomean(g[i])));
+            out.metric(std::string("geomean.") +
+                           (warp_training ? "warpid." : "orig.") +
+                           kindNames[i],
+                       geomean(g[i]));
+        }
+        t.addRow(std::move(gm));
+        out.tables.push_back(std::move(t));
     }
-    std::printf("\n# paper: StridePC (enhanced) stands out with wins on\n"
-                "# black / mersenne / monte / pns and a loss on stream;\n"
-                "# GHB helps scalar and linear but has low coverage.\n");
-    return 0;
+    out.notes.push_back("paper: StridePC (enhanced) stands out with "
+                        "wins on black / mersenne / monte / pns and a "
+                        "loss on stream; GHB helps scalar and linear "
+                        "but has low coverage");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specFig13HwBaselines()
+{
+    return {"fig13_hw_baselines", "Baseline hardware prefetchers",
+            "Fig. 13a/13b", &run};
+}
+
+} // namespace bench
+} // namespace mtp

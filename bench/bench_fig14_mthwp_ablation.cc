@@ -5,76 +5,73 @@
  * PWS-access savings the paper quotes (97% on stride-type).
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+struct Column
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("MT-HWP table ablation vs. GHB",
-                  "Fig. 14 (GHB / PWS / PWS+GS / PWS+IP / PWS+GS+IP)",
-                  opts);
-    bench::Runner runner(opts);
+    const char *name;
+    bool ghb, pws, gs, ip;
+};
 
-    struct Column
-    {
-        const char *name;
-        bool ghb, pws, gs, ip;
-    };
-    const Column cols[] = {
-        {"ghb", true, false, false, false},
-        {"pws", false, true, false, false},
-        {"pws+gs", false, true, true, false},
-        {"pws+ip", false, true, false, true},
-        {"pws+gs+ip", false, true, true, true},
-    };
+constexpr Column kColumns[] = {
+    {"ghb", true, false, false, false},
+    {"pws", false, true, false, false},
+    {"pws+gs", false, true, true, false},
+    {"pws+ip", false, true, false, true},
+    {"pws+gs+ip", false, true, true, true},
+};
 
-    std::printf("\n%-9s %-7s |", "bench", "type");
-    for (const auto &c : cols)
-        std::printf(" %9s", c.name);
-    std::printf("\n");
+SimConfig
+configFor(const Options &opts, const Column &col)
+{
+    SimConfig cfg = baseConfig(opts);
+    if (col.ghb) {
+        cfg.hwPref = HwPrefKind::GHB;
+    } else {
+        cfg.hwPref = HwPrefKind::MTHWP;
+        cfg.mthwpPws = col.pws;
+        cfg.mthwpGs = col.gs;
+        cfg.mthwpIp = col.ip;
+    }
+    return cfg;
+}
 
-    std::vector<double> g[5];
-    double saved_sum = 0.0, probes_sum = 0.0;
-    auto names = bench::selectBenchmarks(
-        opts, Suite::memoryIntensiveNames());
+FigureResult
+run(Runner &runner, const Options &opts)
+{
+    auto names = selectBenchmarks(opts, Suite::memoryIntensiveNames());
     // Submit the whole matrix up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         runner.submitBaseline(w);
-        for (const Column &col : cols) {
-            SimConfig cfg = bench::baseConfig(opts);
-            if (col.ghb) {
-                cfg.hwPref = HwPrefKind::GHB;
-            } else {
-                cfg.hwPref = HwPrefKind::MTHWP;
-                cfg.mthwpPws = col.pws;
-                cfg.mthwpGs = col.gs;
-                cfg.mthwpIp = col.ip;
-            }
-            runner.submit(cfg, w.kernel);
-        }
+        for (const Column &col : kColumns)
+            runner.submit(configFor(opts, col), w.kernel);
     }
+
+    FigureResult out;
+    Table t;
+    t.name = "ablation";
+    t.columns = {"bench", "type"};
+    for (const Column &col : kColumns)
+        t.columns.push_back(col.name);
+
+    std::vector<double> g[5];
+    double saved_sum = 0.0, probes_sum = 0.0;
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);
-        std::printf("%-9s %-7s |", name.c_str(),
-                    toString(w.info.type).c_str());
+        std::vector<Cell> row = {Cell::str(name),
+                                 Cell::str(toString(w.info.type))};
         for (unsigned i = 0; i < 5; ++i) {
-            SimConfig cfg = bench::baseConfig(opts);
-            if (cols[i].ghb) {
-                cfg.hwPref = HwPrefKind::GHB;
-            } else {
-                cfg.hwPref = HwPrefKind::MTHWP;
-                cfg.mthwpPws = cols[i].pws;
-                cfg.mthwpGs = cols[i].gs;
-                cfg.mthwpIp = cols[i].ip;
-            }
-            const RunResult &r = runner.run(cfg, w.kernel);
+            const RunResult &r =
+                runner.run(configFor(opts, kColumns[i]), w.kernel);
             double spd = static_cast<double>(base.cycles) / r.cycles;
             g[i].push_back(spd);
-            std::printf(" %9.2f", spd);
+            row.push_back(Cell::number(spd));
             if (i == 4 && w.info.type == WorkloadType::Stride) {
                 saved_sum += r.stats.sumMatching(
                     "core", ".hwPref.pwsAccessesSaved");
@@ -82,20 +79,37 @@ main(int argc, char **argv)
                     "core", ".hwPref.pwsAccesses");
             }
         }
-        std::printf("\n");
+        t.addRow(std::move(row));
     }
-    std::printf("%-17s |", "geomean");
-    for (unsigned i = 0; i < 5; ++i)
-        std::printf(" %9.2f", bench::geomean(g[i]));
-    std::printf("\n");
+    std::vector<Cell> gm = {Cell::str("geomean"), Cell::str("")};
+    for (unsigned i = 0; i < 5; ++i) {
+        gm.push_back(Cell::number(geomean(g[i])));
+        out.metric(std::string("geomean.") + kColumns[i].name,
+                   geomean(g[i]));
+    }
+    t.addRow(std::move(gm));
+    out.tables.push_back(std::move(t));
 
     if (saved_sum + probes_sum > 0) {
-        std::printf("\nGS table PWS-access savings on stride-type: "
-                    "%.0f%% (paper: 97%%)\n",
-                    100.0 * saved_sum / (saved_sum + probes_sum));
+        out.metric("gs.pwsSavings%",
+                   100.0 * saved_sum / (saved_sum + probes_sum));
+        out.metric("gs.pwsSavings%.paper", 97.0);
     }
-    std::printf("\n# paper: PWS carries the stride-type gains; IP adds\n"
-                "# backprop/bfs/cfd/linear; GS adds little speed but\n"
-                "# saves almost all PWS probes once strides promote.\n");
-    return 0;
+    out.notes.push_back("paper: PWS carries the stride-type gains; IP "
+                        "adds backprop/bfs/cfd/linear; GS adds little "
+                        "speed but saves almost all PWS probes once "
+                        "strides promote");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specFig14MthwpAblation()
+{
+    return {"fig14_mthwp_ablation", "MT-HWP table ablation vs. GHB",
+            "Fig. 14", &run};
+}
+
+} // namespace bench
+} // namespace mtp

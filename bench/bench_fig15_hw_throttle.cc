@@ -5,77 +5,102 @@
  * MT-HWP with the paper's adaptive throttle engine.
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+constexpr const char *kColumnNames[6] = {"ghb",    "ghb+F",
+                                         "stpc",   "stpc+T",
+                                         "mthwp",  "mthwp+T"};
+
+SimConfig
+configFor(const Options &opts, unsigned i)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("Hardware prefetcher throttling",
-                  "Fig. 15 (GHB/GHB+F, StridePC/+T, MT-HWP/+T)", opts);
-    bench::Runner runner(opts);
+    SimConfig cfg = baseConfig(opts);
+    switch (i) {
+    case 0:
+        cfg.hwPref = HwPrefKind::GHB;
+        break;
+    case 1:
+        cfg.hwPref = HwPrefKind::GHB;
+        cfg.ghbFeedback = true;
+        break;
+    case 2:
+        cfg.hwPref = HwPrefKind::StridePC;
+        break;
+    case 3:
+        cfg.hwPref = HwPrefKind::StridePC;
+        cfg.stridePcLateThrottle = true;
+        break;
+    case 4:
+        cfg.hwPref = HwPrefKind::MTHWP;
+        break;
+    default:
+        cfg.hwPref = HwPrefKind::MTHWP;
+        cfg.throttleEnable = true;
+        break;
+    }
+    return cfg;
+}
 
-    std::printf("\n%-9s %-7s | %7s %7s | %8s %8s | %7s %8s\n", "bench",
-                "type", "ghb", "ghb+F", "stpc", "stpc+T", "mthwp",
-                "mthwp+T");
-    std::vector<double> g[6];
-    auto names = bench::selectBenchmarks(
-        opts, Suite::memoryIntensiveNames());
-    auto configFor = [&](unsigned i) {
-        SimConfig cfg = bench::baseConfig(opts);
-        switch (i) {
-          case 0:
-            cfg.hwPref = HwPrefKind::GHB;
-            break;
-          case 1:
-            cfg.hwPref = HwPrefKind::GHB;
-            cfg.ghbFeedback = true;
-            break;
-          case 2:
-            cfg.hwPref = HwPrefKind::StridePC;
-            break;
-          case 3:
-            cfg.hwPref = HwPrefKind::StridePC;
-            cfg.stridePcLateThrottle = true;
-            break;
-          case 4:
-            cfg.hwPref = HwPrefKind::MTHWP;
-            break;
-          default:
-            cfg.hwPref = HwPrefKind::MTHWP;
-            cfg.throttleEnable = true;
-            break;
-        }
-        return cfg;
-    };
+FigureResult
+run(Runner &runner, const Options &opts)
+{
+    auto names = selectBenchmarks(opts, Suite::memoryIntensiveNames());
     // Submit the whole matrix up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         runner.submitBaseline(w);
         for (unsigned i = 0; i < 6; ++i)
-            runner.submit(configFor(i), w.kernel);
+            runner.submit(configFor(opts, i), w.kernel);
     }
+
+    FigureResult out;
+    Table t;
+    t.name = "speedups";
+    t.columns = {"bench", "type"};
+    for (const char *c : kColumnNames)
+        t.columns.push_back(c);
+    std::vector<double> g[6];
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);
-        double spd[6];
+        std::vector<Cell> row = {Cell::str(name),
+                                 Cell::str(toString(w.info.type))};
         for (unsigned i = 0; i < 6; ++i) {
-            const RunResult &r = runner.run(configFor(i), w.kernel);
-            spd[i] = static_cast<double>(base.cycles) / r.cycles;
-            g[i].push_back(spd[i]);
+            const RunResult &r =
+                runner.run(configFor(opts, i), w.kernel);
+            double spd = static_cast<double>(base.cycles) / r.cycles;
+            g[i].push_back(spd);
+            row.push_back(Cell::number(spd));
         }
-        std::printf("%-9s %-7s | %7.2f %7.2f | %8.2f %8.2f | %7.2f "
-                    "%8.2f\n",
-                    name.c_str(), toString(w.info.type).c_str(), spd[0],
-                    spd[1], spd[2], spd[3], spd[4], spd[5]);
+        t.addRow(std::move(row));
     }
-    std::printf("%-17s | %7.2f %7.2f | %8.2f %8.2f | %7.2f %8.2f\n",
-                "geomean", bench::geomean(g[0]), bench::geomean(g[1]),
-                bench::geomean(g[2]), bench::geomean(g[3]),
-                bench::geomean(g[4]), bench::geomean(g[5]));
-    std::printf("\n# paper: throttling rescues stream (the late-prefetch\n"
-                "# pathology) and small losses elsewhere; MT-HWP+T is\n"
-                "# +22%%/+15%% over GHB+F/StridePC+T and +29%% overall.\n");
-    return 0;
+    std::vector<Cell> gm = {Cell::str("geomean"), Cell::str("")};
+    for (unsigned i = 0; i < 6; ++i) {
+        gm.push_back(Cell::number(geomean(g[i])));
+        out.metric(std::string("geomean.") + kColumnNames[i],
+                   geomean(g[i]));
+    }
+    t.addRow(std::move(gm));
+    out.tables.push_back(std::move(t));
+    out.notes.push_back("paper: throttling rescues stream (the "
+                        "late-prefetch pathology) with small losses "
+                        "elsewhere; MT-HWP+T is +22%/+15% over "
+                        "GHB+F/StridePC+T and +29% overall");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specFig15HwThrottle()
+{
+    return {"fig15_hw_throttle", "Hardware prefetcher throttling",
+            "Fig. 15", &run};
+}
+
+} // namespace bench
+} // namespace mtp

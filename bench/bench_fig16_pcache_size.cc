@@ -6,52 +6,53 @@
  * sweep subset by default; pass --bench to widen.
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+SimConfig
+configFor(const Options &opts, unsigned kb, bool hw_pref, bool throttle)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("Prefetch cache size sensitivity",
-                  "Fig. 16 (1K..128K x MT-HWP/+T, MT-SWP/+T)", opts);
-    bench::Runner runner(opts);
-    auto names = bench::selectBenchmarks(opts, bench::sweepSubset());
-    std::printf("# benchmarks:");
-    for (const auto &n : names)
-        std::printf(" %s", n.c_str());
-    std::printf("\n\n%-8s | %8s %9s %8s %9s\n", "size", "mthwp",
-                "mthwp+T", "mtswp", "mtswp+T");
+    SimConfig cfg = baseConfig(opts);
+    cfg.prefCacheBytes = kb * 1024;
+    cfg.throttleEnable = throttle;
+    if (hw_pref)
+        cfg.hwPref = HwPrefKind::MTHWP;
+    return cfg;
+}
 
+FigureResult
+run(Runner &runner, const Options &opts)
+{
+    auto names = selectBenchmarks(opts, sweepSubset());
     const unsigned sizesKb[] = {1, 2, 4, 8, 16, 32, 64, 128};
-    auto configFor = [&](unsigned kb, bool hw_pref, bool throttle) {
-        SimConfig cfg = bench::baseConfig(opts);
-        cfg.prefCacheBytes = kb * 1024;
-        cfg.throttleEnable = throttle;
-        if (hw_pref)
-            cfg.hwPref = HwPrefKind::MTHWP;
-        return cfg;
-    };
     // Submit the whole size sweep up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         runner.submitBaseline(w);
         for (unsigned kb : sizesKb) {
             for (bool throttle : {false, true}) {
-                runner.submit(configFor(kb, true, throttle), w.kernel);
-                runner.submit(configFor(kb, false, throttle),
+                runner.submit(configFor(opts, kb, true, throttle),
+                              w.kernel);
+                runner.submit(configFor(opts, kb, false, throttle),
                               w.variant(SwPrefKind::StrideIP));
             }
         }
     }
 
+    FigureResult out;
+    Table t;
+    t.name = "size-sweep";
+    t.columns = {"size", "mthwp", "mthwp+T", "mtswp", "mtswp+T"};
     for (unsigned kb : sizesKb) {
         std::vector<double> hw, hwt, sw, swt;
         for (const auto &name : names) {
             Workload w = Suite::get(name, opts.scaleDiv);
             const RunResult &base = runner.baseline(w);
             auto speedup = [&](bool hw_pref, bool throttle) {
-                SimConfig cfg = configFor(kb, hw_pref, throttle);
+                SimConfig cfg = configFor(opts, kb, hw_pref, throttle);
                 const RunResult &r = runner.run(
                     cfg, hw_pref ? w.kernel
                                  : w.variant(SwPrefKind::StrideIP));
@@ -62,13 +63,37 @@ main(int argc, char **argv)
             sw.push_back(speedup(false, false));
             swt.push_back(speedup(false, true));
         }
-        std::printf("%5uK   | %8.3f %9.3f %8.3f %9.3f\n", kb,
-                    bench::geomean(hw), bench::geomean(hwt),
-                    bench::geomean(sw), bench::geomean(swt));
+        t.addRow({Cell::str(std::to_string(kb) + "K"),
+                  Cell::number(geomean(hw), 3),
+                  Cell::number(geomean(hwt), 3),
+                  Cell::number(geomean(sw), 3),
+                  Cell::number(geomean(swt), 3)});
+        if (kb == 16) {
+            out.metric("geomean.16K.mthwp+T", geomean(hwt));
+            out.metric("geomean.16K.mtswp+T", geomean(swt));
+        }
     }
-    std::printf("\n# paper shape: performance grows with cache size;\n"
-                "# at 1KB unthrottled prefetching degrades performance\n"
-                "# but throttling keeps it above 1.0; the throttling\n"
-                "# margin shrinks as the cache grows.\n");
-    return 0;
+    out.tables.push_back(std::move(t));
+    std::string used = "benchmarks:";
+    for (const auto &n : names)
+        used += " " + n;
+    out.notes.push_back(used);
+    out.notes.push_back("paper shape: performance grows with cache "
+                        "size; at 1KB unthrottled prefetching degrades "
+                        "performance but throttling keeps it above "
+                        "1.0; the throttling margin shrinks as the "
+                        "cache grows");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specFig16PcacheSize()
+{
+    return {"fig16_pcache_size", "Prefetch cache size sensitivity",
+            "Fig. 16", &run};
+}
+
+} // namespace bench
+} // namespace mtp

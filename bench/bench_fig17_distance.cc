@@ -8,58 +8,74 @@
  * helps before early evictions take over).
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+FigureResult
+run(Runner &runner, const Options &opts)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("MT-HWP prefetch distance sensitivity",
-                  "Fig. 17 (distance 1..15)", opts);
-    bench::Runner runner(opts);
-    auto names = bench::selectBenchmarks(opts, bench::sweepSubset());
-
-    std::printf("\n%-9s |", "bench");
+    auto names = selectBenchmarks(opts, sweepSubset());
     const unsigned distances[] = {1, 3, 5, 7, 9, 11, 13, 15};
-    for (unsigned d : distances)
-        std::printf(" %6u", d);
-    std::printf("\n");
 
     // Submit the whole distance sweep up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         runner.submitBaseline(w);
         for (unsigned d : distances) {
-            SimConfig cfg = bench::baseConfig(opts);
+            SimConfig cfg = baseConfig(opts);
             cfg.hwPref = HwPrefKind::MTHWP;
             cfg.prefDistance = d;
             runner.submit(cfg, w.kernel);
         }
     }
 
+    FigureResult out;
+    Table t;
+    t.name = "distance-sweep";
+    t.columns = {"bench"};
+    for (unsigned d : distances)
+        t.columns.push_back("d" + std::to_string(d));
     std::vector<std::vector<double>> per_distance(8);
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);
-        std::printf("%-9s |", name.c_str());
+        std::vector<Cell> row = {Cell::str(name)};
         for (unsigned i = 0; i < 8; ++i) {
-            SimConfig cfg = bench::baseConfig(opts);
+            SimConfig cfg = baseConfig(opts);
             cfg.hwPref = HwPrefKind::MTHWP;
             cfg.prefDistance = distances[i];
             const RunResult &r = runner.run(cfg, w.kernel);
             double spd = static_cast<double>(base.cycles) / r.cycles;
             per_distance[i].push_back(spd);
-            std::printf(" %6.2f", spd);
+            row.push_back(Cell::number(spd));
         }
-        std::printf("\n");
+        t.addRow(std::move(row));
     }
-    std::printf("%-9s |", "geomean");
+    std::vector<Cell> gm = {Cell::str("geomean")};
     for (unsigned i = 0; i < 8; ++i)
-        std::printf(" %6.2f", bench::geomean(per_distance[i]));
-    std::printf("\n");
-    std::printf("\n# paper shape: distance 1 best overall; stream peaks\n"
-                "# around distance 5 then decays as prefetches turn\n"
-                "# early (the 16 KB cache cannot hold them).\n");
-    return 0;
+        gm.push_back(Cell::number(geomean(per_distance[i])));
+    t.addRow(std::move(gm));
+    out.tables.push_back(std::move(t));
+    out.metric("geomean.d1", geomean(per_distance[0]));
+    out.metric("geomean.d15", geomean(per_distance[7]));
+    out.notes.push_back("paper shape: distance 1 best overall; stream "
+                        "peaks around distance 5 then decays as "
+                        "prefetches turn early (the 16 KB cache cannot "
+                        "hold them)");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specFig17Distance()
+{
+    return {"fig17_distance", "MT-HWP prefetch distance sensitivity",
+            "Fig. 17", &run};
+}
+
+} // namespace bench
+} // namespace mtp

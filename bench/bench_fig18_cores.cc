@@ -6,29 +6,23 @@
  * no-prefetching baseline.
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+FigureResult
+run(Runner &runner, const Options &opts)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("Core-count sensitivity (fixed DRAM bandwidth)",
-                  "Fig. 18 (8..20 cores)", opts);
-    bench::Runner runner(opts);
-    auto names = bench::selectBenchmarks(opts, bench::sweepSubset());
-    std::printf("# benchmarks:");
-    for (const auto &n : names)
-        std::printf(" %s", n.c_str());
-    std::printf("\n\n%-6s | %8s %9s %8s %9s\n", "cores", "mthwp",
-                "mthwp+T", "mtswp", "mtswp+T");
+    auto names = selectBenchmarks(opts, sweepSubset());
 
     // Submit the whole core-count sweep up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         KernelDesc swp = w.variant(SwPrefKind::StrideIP);
         for (unsigned cores = 8; cores <= 20; cores += 2) {
-            SimConfig base_cfg = bench::baseConfig(opts);
+            SimConfig base_cfg = baseConfig(opts);
             base_cfg.numCores = cores;
             runner.submit(base_cfg, w.kernel);
             for (bool throttle : {false, true}) {
@@ -41,11 +35,15 @@ main(int argc, char **argv)
         }
     }
 
+    FigureResult out;
+    Table t;
+    t.name = "core-sweep";
+    t.columns = {"cores", "mthwp", "mthwp+T", "mtswp", "mtswp+T"};
     for (unsigned cores = 8; cores <= 20; cores += 2) {
         std::vector<double> hw, hwt, sw, swt;
         for (const auto &name : names) {
             Workload w = Suite::get(name, opts.scaleDiv);
-            SimConfig base_cfg = bench::baseConfig(opts);
+            SimConfig base_cfg = baseConfig(opts);
             base_cfg.numCores = cores;
             const RunResult &base = runner.run(base_cfg, w.kernel);
             auto speedup = [&](bool hw_pref, bool throttle) {
@@ -65,12 +63,36 @@ main(int argc, char **argv)
             sw.push_back(speedup(false, false));
             swt.push_back(speedup(false, true));
         }
-        std::printf("%-6u | %8.3f %9.3f %8.3f %9.3f\n", cores,
-                    bench::geomean(hw), bench::geomean(hwt),
-                    bench::geomean(sw), bench::geomean(swt));
+        t.addRow({Cell::number(cores, 0), Cell::number(geomean(hw), 3),
+                  Cell::number(geomean(hwt), 3),
+                  Cell::number(geomean(sw), 3),
+                  Cell::number(geomean(swt), 3)});
+        if (cores == 14) {
+            out.metric("geomean.14.mthwp+T", geomean(hwt));
+            out.metric("geomean.14.mtswp+T", geomean(swt));
+        }
     }
-    std::printf("\n# paper shape: benefits shrink slightly as cores grow\n"
-                "# (more contention for the fixed 57.6 GB/s) but\n"
-                "# prefetching stays profitable through 20 cores.\n");
-    return 0;
+    out.tables.push_back(std::move(t));
+    std::string used = "benchmarks:";
+    for (const auto &n : names)
+        used += " " + n;
+    out.notes.push_back(used);
+    out.notes.push_back("paper shape: benefits shrink slightly as "
+                        "cores grow (more contention for the fixed "
+                        "57.6 GB/s) but prefetching stays profitable "
+                        "through 20 cores");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specFig18Cores()
+{
+    return {"fig18_cores",
+            "Core-count sensitivity (fixed DRAM bandwidth)",
+            "Fig. 18", &run};
+}
+
+} // namespace bench
+} // namespace mtp

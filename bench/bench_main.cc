@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Shared entry point of the standalone per-figure binaries. Each
+ * bench_* executable compiles this file with -DMTP_BENCH_SPEC="name"
+ * and links the full harness suite; the named CampaignSpec runs
+ * through the common CLI (see standaloneMain).
+ */
+
+#include "bench/campaign.hh"
+
+#ifndef MTP_BENCH_SPEC
+#error "MTP_BENCH_SPEC must name the CampaignSpec this binary runs"
+#endif
+
+int
+main(int argc, char **argv)
+{
+    return mtp::bench::standaloneMain(MTP_BENCH_SPEC, argc, argv);
+}

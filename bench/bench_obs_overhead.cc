@@ -22,6 +22,13 @@
  * Usage: bench_obs_overhead [--smoke] [--scale N] [--reps N]
  *          [--out FILE] [--compare-with BIN] [--threshold PCT]
  *          [--disabled-only]
+ *
+ * The CLI matches the shared harness conventions (--json aliases
+ * --out, --quiet, --jobs/--shards accepted as no-ops, the same
+ * unknown-flag error) but is parsed by hand: this source is also
+ * compiled against the no-obs stack (bench_obs_overhead_noobs), which
+ * cannot link the bench_common library without colliding with the
+ * instrumented simulator symbols.
  */
 
 #include <chrono>
@@ -30,6 +37,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include <unistd.h>
 
 #include "mtprefetch/mtprefetch.hh"
 
@@ -67,6 +76,45 @@ kcyclesPerSec(Cycle cycles, double secs)
     return secs > 0.0 ? static_cast<double>(cycles) / secs / 1000.0 : 0.0;
 }
 
+/**
+ * The campaign provenance header, duplicated from bench/campaign.cc
+ * because this binary cannot link the bench libraries (see the file
+ * comment). Keep the field set in sync with Provenance there.
+ */
+std::string
+provenanceJson(unsigned scaleDiv, Cycle throttlePeriod)
+{
+    std::string sha = "unknown";
+    if (std::FILE *p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+        char buf[64] = {0};
+        if (std::fgets(buf, sizeof(buf), p)) {
+            std::string s(buf);
+            while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
+                s.pop_back();
+            bool hex = s.size() == 40;
+            for (char c : s)
+                hex = hex && ((c >= '0' && c <= '9') ||
+                              (c >= 'a' && c <= 'f'));
+            if (hex)
+                sha = s;
+        }
+        ::pclose(p);
+    }
+    char host[256] = "unknown";
+    ::gethostname(host, sizeof(host) - 1);
+    std::ostringstream os;
+    os << "  \"provenance\": {\n"
+       << "    \"paper\": \"" << obs::jsonEscape(
+              "Many-Thread Aware Prefetching Mechanisms for GPGPU "
+              "Applications (MICRO-43, 2010)")
+       << "\",\n    \"gitSha\": \"" << obs::jsonEscape(sha)
+       << "\",\n    \"host\": \"" << obs::jsonEscape(host)
+       << "\",\n    \"scaleDiv\": " << scaleDiv
+       << ",\n    \"throttlePeriod\": " << throttlePeriod
+       << ",\n    \"overrides\": [],\n    \"benchFilter\": []\n  }";
+    return os.str();
+}
+
 } // namespace
 
 int
@@ -75,6 +123,7 @@ main(int argc, char **argv)
     unsigned scaleDiv = 8;
     unsigned reps = 5;
     bool smoke = false;
+    bool quiet = false;
     [[maybe_unused]] bool disabledOnly = false; // unused in no-obs build
     double thresholdPct = 2.0;
     std::string out = "BENCH_obs_overhead.json";
@@ -86,23 +135,32 @@ main(int argc, char **argv)
             scaleDiv = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--reps" && i + 1 < argc) {
             reps = static_cast<unsigned>(std::atoi(argv[++i]));
-        } else if (arg == "--out" && i + 1 < argc) {
+        } else if ((arg == "--out" || arg == "--json") && i + 1 < argc) {
             out = argv[++i];
         } else if (arg == "--compare-with" && i + 1 < argc) {
             compareWith = argv[++i];
         } else if (arg == "--threshold" && i + 1 < argc) {
             thresholdPct = std::atof(argv[++i]);
+        } else if ((arg == "--jobs" || arg == "--shards") &&
+                   i + 1 < argc) {
+            ++i; // accepted for CLI uniformity; a timing harness
+                 // must stay a single serial process
         } else if (arg == "--smoke") {
             smoke = true;
+        } else if (arg == "--quiet" || arg == "-q") {
+            quiet = true;
         } else if (arg == "--disabled-only") {
             disabledOnly = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--smoke] [--scale N] [--reps N] "
+                        "[--out FILE] [--json FILE] "
+                        "[--compare-with BIN] [--threshold PCT] "
+                        "[--disabled-only] [--quiet]\n",
+                        argv[0]);
+            return 0;
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--smoke] [--scale N] [--reps N] "
-                         "[--out FILE] [--compare-with BIN] "
-                         "[--threshold PCT] [--disabled-only]\n",
-                         argv[0]);
-            return 2;
+            MTP_FATAL("unknown argument '", arg,
+                      "' (see --help for the accepted flags)");
         }
     }
     if (smoke) {
@@ -136,14 +194,17 @@ main(int argc, char **argv)
     }
 #endif
 
-    std::printf("bench_obs_overhead: stream/mthwp+throttle, scale 1/%u, "
-                "%u reps, %llu cycles%s\n",
-                scaleDiv, reps,
-                static_cast<unsigned long long>(warm.cycles),
-                MTP_OBS_ENABLED ? "" : " [no-obs build]");
-    std::printf("  hooks disabled: %8.3f s  (%10.1f kcycles/s)\n",
-                disabledSec, kcyclesPerSec(warm.cycles, disabledSec));
-    if (enabledSec > 0.0)
+    if (!quiet) {
+        std::printf("bench_obs_overhead: stream/mthwp+throttle, "
+                    "scale 1/%u, %u reps, %llu cycles%s\n",
+                    scaleDiv, reps,
+                    static_cast<unsigned long long>(warm.cycles),
+                    MTP_OBS_ENABLED ? "" : " [no-obs build]");
+        std::printf("  hooks disabled: %8.3f s  (%10.1f kcycles/s)\n",
+                    disabledSec,
+                    kcyclesPerSec(warm.cycles, disabledSec));
+    }
+    if (enabledSec > 0.0 && !quiet)
         std::printf("  tracing on:     %8.3f s  (%10.1f kcycles/s, "
                     "+%.1f%%)\n",
                     enabledSec, kcyclesPerSec(warm.cycles, enabledSec),
@@ -155,7 +216,8 @@ main(int argc, char **argv)
     bool pass = true;
     if (!compareWith.empty()) {
         std::string childOut = out + ".noobs.json";
-        std::string cmd = "\"" + compareWith + "\" --disabled-only --reps " +
+        std::string cmd = "\"" + compareWith +
+                          "\" --disabled-only --quiet --reps " +
                           std::to_string(reps) + " --scale " +
                           std::to_string(scaleDiv) + " --out \"" +
                           childOut + "\"";
@@ -181,15 +243,20 @@ main(int argc, char **argv)
         // noise bigger than any per-hook cost.
         pass = disabledSec <=
                noobsSec * (1.0 + thresholdPct / 100.0) + 0.05;
-        std::printf("  no-obs build:   %8.3f s  (%10.1f kcycles/s)\n",
-                    noobsSec, kcyclesPerSec(warm.cycles, noobsSec));
-        std::printf("  disabled-hook overhead: %+.2f%% (threshold "
-                    "%.1f%%): %s\n",
-                    overheadPct, thresholdPct, pass ? "PASS" : "FAIL");
+        if (!quiet) {
+            std::printf("  no-obs build:   %8.3f s  "
+                        "(%10.1f kcycles/s)\n",
+                        noobsSec, kcyclesPerSec(warm.cycles, noobsSec));
+            std::printf("  disabled-hook overhead: %+.2f%% (threshold "
+                        "%.1f%%): %s\n",
+                        overheadPct, thresholdPct,
+                        pass ? "PASS" : "FAIL");
+        }
     }
 
     std::ofstream os(out);
-    os << "{\n  \"bench\": \"obs_overhead\",\n"
+    os << "{\n  \"bench\": \"obs_overhead\",\n  \"volatile\": true,\n"
+       << provenanceJson(scaleDiv, cfg.throttlePeriod) << ",\n"
        << "  \"obsCompiledIn\": " << (MTP_OBS_ENABLED ? "true" : "false")
        << ",\n  \"workload\": \"stream\",\n  \"scaleDiv\": " << scaleDiv
        << ",\n  \"reps\": " << reps << ",\n  \"cycles\": " << warm.cycles
@@ -208,7 +275,8 @@ main(int argc, char **argv)
            << ",\n  \"thresholdPct\": " << thresholdPct
            << ",\n  \"pass\": " << (pass ? "true" : "false");
     os << "\n}\n";
-    std::printf("wrote %s\n", out.c_str());
+    if (!quiet)
+        std::printf("wrote %s\n", out.c_str());
 
     if (!pass) {
         std::fprintf(stderr,

@@ -41,6 +41,11 @@
  *
  * Usage: bench_simrate [--scale N] [--bench a,b] [--shards a,b,...]
  *                      [--out FILE] [--smoke] [--gate]
+ *
+ * The CLI is the shared harness parser (bench_common.hh) with three
+ * extra flags; --shards is shadowed to mean the sweep axis rather
+ * than one shard count, and --json is an alias for --out so the
+ * campaign driver can address every harness uniformly.
  */
 
 #include <algorithm>
@@ -55,6 +60,7 @@
 #include <vector>
 
 #include "bench/bench_common.hh"
+#include "bench/campaign.hh"
 
 namespace {
 
@@ -269,13 +275,17 @@ gateAttemptBudget()
 }
 
 void
-writeJson(const std::string &path, unsigned scaleDiv,
+writeJson(const std::string &path, const bench::Options &opts,
           const std::vector<Measurement> &rows, double geomeanSpeedup,
           const std::string &scaleName, unsigned scaleCores,
           const std::vector<ScalePoint> &scaling)
 {
+    unsigned scaleDiv = opts.scaleDiv;
+    std::string header;
+    bench::appendProvenance(header, bench::collectProvenance(opts), 1);
     std::ofstream os(path);
-    os << "{\n  \"bench\": \"simrate\",\n  \"scaleDiv\": " << scaleDiv
+    os << "{\n  \"bench\": \"simrate\",\n  \"volatile\": true,\n"
+       << header << ",\n  \"scaleDiv\": " << scaleDiv
        << ",\n  \"workloads\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Measurement &m = rows[i];
@@ -317,48 +327,38 @@ writeJson(const std::string &path, unsigned scaleDiv,
 int
 main(int argc, char **argv)
 {
-    unsigned scaleDiv = 8;
     bool smoke = false;
     bool gate = false;
     std::string out = "BENCH_simrate.json";
-    std::vector<std::string> filter;
     std::vector<unsigned> shardAxis = {1, 2, 4};
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--scale" && i + 1 < argc) {
-            scaleDiv = static_cast<unsigned>(std::atoi(argv[++i]));
-        } else if (arg == "--bench" && i + 1 < argc) {
-            std::stringstream ss(argv[++i]);
-            std::string name;
-            while (std::getline(ss, name, ','))
-                filter.push_back(name);
-        } else if (arg == "--shards" && i + 1 < argc) {
-            shardAxis.clear();
-            std::stringstream ss(argv[++i]);
-            std::string item;
-            while (std::getline(ss, item, ','))
-                shardAxis.push_back(
-                    static_cast<unsigned>(std::stoul(item)));
-            for (unsigned s : shardAxis)
-                if (s == 0)
-                    MTP_FATAL("--shards values must be >= 1");
-        } else if (arg == "--out" && i + 1 < argc) {
-            out = argv[++i];
-        } else if (arg == "--smoke") {
-            smoke = true;
-        } else if (arg == "--gate") {
-            gate = true;
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--scale N] [--bench a,b] "
-                         "[--shards a,b,...] [--out FILE] [--smoke] "
-                         "[--gate]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
+    std::vector<bench::FlagSpec> extra = {
+        {"--out", true, [&](const std::string &v) { out = v; }},
+        {"--smoke", false, [&](const std::string &) { smoke = true; }},
+        {"--gate", false, [&](const std::string &) { gate = true; }},
+        // Shadows the common --shards: here it is the sweep axis.
+        {"--shards", true,
+         [&](const std::string &v) {
+             shardAxis.clear();
+             std::stringstream ss(v);
+             std::string item;
+             while (std::getline(ss, item, ','))
+                 shardAxis.push_back(
+                     static_cast<unsigned>(std::stoul(item)));
+             for (unsigned s : shardAxis)
+                 if (s == 0)
+                     MTP_FATAL("--shards values must be >= 1");
+         }},
+    };
+    bench::Options opts = bench::parseArgs(
+        argc, argv, extra,
+        "[--out FILE] [--smoke] [--gate] (--shards = sweep list)");
     if (smoke)
-        scaleDiv = 64;
+        opts.scaleDiv = 64;
+    if (!opts.jsonOut.empty())
+        out = opts.jsonOut; // --json is an alias for --out
+    unsigned scaleDiv = opts.scaleDiv;
+    const std::vector<std::string> &filter = opts.benchmarks;
+    const bool quiet = opts.quiet;
     // The sweep is self-relative: shards=1 is the reference point.
     std::sort(shardAxis.begin(), shardAxis.end());
     shardAxis.erase(std::unique(shardAxis.begin(), shardAxis.end()),
@@ -368,6 +368,7 @@ main(int argc, char **argv)
 
     SimConfig cfg; // Table II baseline, no prefetching
     cfg.throttlePeriod = 100000 / scaleDiv;
+    opts.throttlePeriod = cfg.throttlePeriod; // provenance fidelity
 
     // The microkernel runs on a two-core machine: severe latency-bound
     // low occupancy, the regime event-driven skipping targets. The
@@ -404,12 +405,14 @@ main(int argc, char **argv)
         workloads = std::move(kept);
     }
 
-    std::printf("bench_simrate: naive cycle loop vs event-driven "
-                "fast-forward (scale 1/%u)\n\n",
-                scaleDiv);
-    std::printf("%-16s %12s %10s %10s %12s %12s %8s %6s\n", "workload",
-                "cycles", "naive_s", "fast_s", "naive_kc/s", "fast_kc/s",
-                "speedup", "equal");
+    if (!quiet) {
+        std::printf("bench_simrate: naive cycle loop vs event-driven "
+                    "fast-forward (scale 1/%u)\n\n",
+                    scaleDiv);
+        std::printf("%-16s %12s %10s %10s %12s %12s %8s %6s\n",
+                    "workload", "cycles", "naive_s", "fast_s",
+                    "naive_kc/s", "fast_kc/s", "speedup", "equal");
+    }
 
     // The gate's performance contract (see the file comment).
     const double gateMinSpeedup = 1.0;
@@ -449,20 +452,23 @@ main(int argc, char **argv)
                 m = again;
             m.identical = identical;
         }
-        std::printf("%-16s %12llu %10.3f %10.3f %12.1f %12.1f %7.2fx %6s\n",
-                    m.name.c_str(),
-                    static_cast<unsigned long long>(m.cycles),
-                    m.naiveSeconds, m.fastSeconds,
-                    kcyclesPerSec(m.cycles, m.naiveSeconds),
-                    kcyclesPerSec(m.cycles, m.fastSeconds), m.speedup,
-                    m.identical ? "yes" : "NO");
+        if (!quiet)
+            std::printf(
+                "%-16s %12llu %10.3f %10.3f %12.1f %12.1f %7.2fx %6s\n",
+                m.name.c_str(),
+                static_cast<unsigned long long>(m.cycles),
+                m.naiveSeconds, m.fastSeconds,
+                kcyclesPerSec(m.cycles, m.naiveSeconds),
+                kcyclesPerSec(m.cycles, m.fastSeconds), m.speedup,
+                m.identical ? "yes" : "NO");
         allIdentical = allIdentical && m.identical;
         speedups.push_back(m.speedup);
         rows.push_back(std::move(m));
     }
 
     double gm = bench::geomean(speedups);
-    std::printf("\ngeomean speedup: %.2fx\n", gm);
+    if (!quiet)
+        std::printf("\ngeomean speedup: %.2fx\n", gm);
 
     // Intra-run sharding sweep: the high-MLP streaming kernel on the
     // paper's Fig. 18 machine width, timed at each shard count.
@@ -479,11 +485,14 @@ main(int argc, char **argv)
     if (!smoke) {
         KernelDesc scaleKernel = mlpStreamKernel(
             scaleCfg.numCores, std::max(1024u / scaleDiv, 16u));
-        std::printf("\nsharded scaling: %s, %u cores, host threads %u "
-                    "(self-relative)\n",
-                    scaleName.c_str(), scaleCfg.numCores, hwThreads);
-        std::printf("%-8s %10s %12s %8s %6s\n", "shards", "fast_s",
-                    "fast_kc/s", "speedup", "equal");
+        if (!quiet) {
+            std::printf("\nsharded scaling: %s, %u cores, host "
+                        "threads %u (self-relative)\n",
+                        scaleName.c_str(), scaleCfg.numCores,
+                        hwThreads);
+            std::printf("%-8s %10s %12s %8s %6s\n", "shards", "fast_s",
+                        "fast_kc/s", "speedup", "equal");
+        }
         std::string refDump;
         double refSeconds = 0.0;
         for (unsigned s : shardAxis) {
@@ -522,17 +531,20 @@ main(int argc, char **argv)
                 refSeconds = p.seconds;
             p.speedup =
                 p.seconds > 0.0 ? refSeconds / p.seconds : 0.0;
-            std::printf("%-8u %10.3f %12.1f %7.2fx %6s\n", p.shards,
-                        p.seconds, kcyclesPerSec(p.cycles, p.seconds),
-                        p.speedup, p.identical ? "yes" : "NO");
+            if (!quiet)
+                std::printf("%-8u %10.3f %12.1f %7.2fx %6s\n",
+                            p.shards, p.seconds,
+                            kcyclesPerSec(p.cycles, p.seconds),
+                            p.speedup, p.identical ? "yes" : "NO");
             shardsIdentical = shardsIdentical && p.identical;
             scaling.push_back(p);
         }
     }
 
-    writeJson(out, scaleDiv, rows, gm, scaleName, scaleCfg.numCores,
+    writeJson(out, opts, rows, gm, scaleName, scaleCfg.numCores,
               scaling);
-    std::printf("wrote %s\n", out.c_str());
+    if (!quiet)
+        std::printf("wrote %s\n", out.c_str());
 
     if (!allIdentical) {
         std::fprintf(stderr,

@@ -1,27 +1,29 @@
 /**
  * @file
- * Table II: the baseline processor configuration. Prints the simulated
- * machine's parameters next to the published ones.
+ * Table II: the baseline processor configuration. Renders the
+ * simulated machine's parameters next to the published ones.
  */
 
-#include <iostream>
+#include "bench/harnesses.hh"
 
-#include "bench/bench_common.hh"
+namespace mtp {
+namespace bench {
+namespace {
 
-int
-main(int argc, char **argv)
+FigureResult
+run(Runner &runner, const Options &opts)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("Baseline processor configuration",
-                  "Table II (MICRO-43 2010, Lee et al.)", opts);
-    SimConfig cfg = bench::baseConfig(opts);
+    (void)runner;
+    SimConfig cfg = baseConfig(opts);
     cfg.validate();
 
-    std::printf("\n%-28s %-22s %s\n", "parameter", "paper", "simulator");
-    auto row = [](const char *name, const char *paper,
-                  const std::string &ours) {
-        std::printf("%-28s %-22s %s\n", name, paper, ours.c_str());
+    FigureResult out;
+    Table t;
+    t.name = "configuration";
+    t.columns = {"parameter", "paper", "simulator"};
+    auto row = [&](const char *name, const char *paper,
+                   const std::string &ours) {
+        t.addRow({Cell::str(name), Cell::str(paper), Cell::str(ours)});
     };
     row("cores", "14, 8-wide SIMD",
         std::to_string(cfg.numCores) + ", " +
@@ -30,8 +32,7 @@ main(int argc, char **argv)
         std::to_string(cfg.fetchWidth) + " warp-inst/cycle");
     row("decode", "5 cycles, stall on branch",
         std::to_string(cfg.decodeCycles) + " cycles, stall on branch");
-    row("IMUL / FDIV / other",
-        "16 / 32 / 4 cycles per warp",
+    row("IMUL / FDIV / other", "16 / 32 / 4 cycles per warp",
         std::to_string(cfg.latencyImul) + " / " +
             std::to_string(cfg.latencyFdiv) + " / " +
             std::to_string(cfg.latencyOther) + " cycles per warp");
@@ -50,16 +51,29 @@ main(int argc, char **argv)
         std::to_string(cfg.dramBusBytesPerCycle * cfg.dramChannels *
                        900 / 1000) +
             "." +
-            std::to_string(cfg.dramBusBytesPerCycle * cfg.dramChannels *
-                           900 % 1000 / 100) +
+            std::to_string(cfg.dramBusBytesPerCycle *
+                           cfg.dramChannels * 900 % 1000 / 100) +
             " GB/s");
     row("interconnect", "20 cycles, 1 req / 2 cores / cycle",
         std::to_string(cfg.icntLatency) + " cycles, 1 req / " +
             std::to_string(cfg.icntCoresPerPort) + " cores / cycle");
     row("priority", "demand > prefetch",
         cfg.demandPriority ? "demand > prefetch" : "none");
-
-    std::printf("\nfull configuration dump:\n");
-    cfg.dump(std::cout);
-    return 0;
+    out.tables.push_back(std::move(t));
+    out.notes.push_back(
+        "every SimConfig field accepts a key=value override on any "
+        "harness or mtp-sim command line");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specTab02Config()
+{
+    return {"tab02_config", "Baseline processor configuration",
+            "Table II", &run};
+}
+
+} // namespace bench
+} // namespace mtp

@@ -6,53 +6,83 @@
  * at least 50% above perfect-memory CPI).
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+FigureResult
+run(Runner &runner, const Options &opts)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("Benchmark characteristics",
-                  "Table III (base CPI / PMEM CPI per benchmark)", opts);
-    bench::Runner runner(opts);
-
-    std::printf("\n%-9s %-7s %-7s %8s %7s %6s | %9s %9s | %9s %9s | %s\n",
-                "bench", "suite", "type", "warps", "blocks", "blk/c",
-                "baseCPI", "paper", "pmemCPI", "paper", "mem-int");
-    auto names = bench::selectBenchmarks(
-        opts, Suite::memoryIntensiveNames());
+    auto names = selectBenchmarks(opts, Suite::memoryIntensiveNames());
     // Submit the whole matrix up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         runner.submitBaseline(w);
-        SimConfig pmem = bench::baseConfig(opts);
+        SimConfig pmem = baseConfig(opts);
         pmem.perfectMemory = true;
         runner.submit(pmem, w.kernel);
     }
+
+    FigureResult out;
+    Table t;
+    t.name = "characteristics";
+    t.columns = {"bench",   "suite",      "type",      "warps",
+                 "blocks",  "blk/core",   "baseCPI",   "paper.base",
+                 "pmemCPI", "paper.pmem", "mem-intense"};
+    unsigned intenseCount = 0;
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);
-        SimConfig pmem = bench::baseConfig(opts);
+        SimConfig pmem = baseConfig(opts);
         pmem.perfectMemory = true;
         const RunResult &perfect = runner.run(pmem, w.kernel);
         bool intense = base.cpi > 1.5 * perfect.cpi;
-        std::printf(
-            "%-9s %-7s %-7s %8llu %7llu %6u | %9.2f %9.2f | %9.2f %9.2f"
-            " | %s\n",
-            name.c_str(), w.info.suite.c_str(),
-            toString(w.info.type).c_str(),
-            static_cast<unsigned long long>(w.info.paperWarps),
-            static_cast<unsigned long long>(w.info.paperBlocks),
-            w.kernel.maxBlocksPerCore, base.cpi, w.info.paperBaseCpi,
-            perfect.cpi, w.info.paperPmemCpi, intense ? "yes" : "NO");
+        intenseCount += intense;
+        t.addRow({Cell::str(name), Cell::str(w.info.suite),
+                  Cell::str(toString(w.info.type)),
+                  Cell::number(
+                      static_cast<double>(w.info.paperWarps), 0),
+                  Cell::number(
+                      static_cast<double>(w.info.paperBlocks), 0),
+                  Cell::number(w.kernel.maxBlocksPerCore, 0),
+                  Cell::number(base.cpi), Cell::number(w.info.paperBaseCpi),
+                  Cell::number(perfect.cpi),
+                  Cell::number(w.info.paperPmemCpi),
+                  Cell::str(intense ? "yes" : "NO")});
     }
-    std::printf("\n# delinquent loads (stride/IP, from Table III):\n");
+    out.tables.push_back(std::move(t));
+
+    Table d;
+    d.name = "delinquent-loads";
+    d.columns = {"bench", "stride", "ip"};
     for (const auto &name : names) {
         Workload w = Suite::get(name, 64);
-        std::printf("#   %-9s %u/%u\n", name.c_str(),
-                    w.info.paperDelinquentStride,
-                    w.info.paperDelinquentIp);
+        d.addRow({Cell::str(name),
+                  Cell::number(w.info.paperDelinquentStride, 0),
+                  Cell::number(w.info.paperDelinquentIp, 0)});
     }
-    return 0;
+    out.tables.push_back(std::move(d));
+
+    out.metric("memIntensive.count", intenseCount);
+    out.metric("memIntensive.frac",
+               names.empty() ? 0.0
+                             : static_cast<double>(intenseCount) /
+                                   static_cast<double>(names.size()));
+    out.notes.push_back("mem-intense: base CPI > 1.5x perfect-memory "
+                        "CPI (the paper's Table III criterion)");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specTab03Characteristics()
+{
+    return {"tab03_characteristics", "Benchmark characteristics",
+            "Table III", &run};
+}
+
+} // namespace bench
+} // namespace mtp

@@ -5,45 +5,66 @@
  * the table documents.
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+FigureResult
+run(Runner &runner, const Options &opts)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("Non-memory-intensive benchmark CPIs",
-                  "Table IV (base / PMEM / HWP CPI)", opts);
-    bench::Runner runner(opts);
-
-    std::printf("\n%-12s | %8s %8s | %8s %8s | %8s %8s\n", "bench",
-                "baseCPI", "paper", "pmemCPI", "paper", "hwpCPI",
-                "paper");
-    auto names = bench::selectBenchmarks(opts, Suite::computeNames());
+    auto names = selectBenchmarks(opts, Suite::computeNames());
     // Submit the whole matrix up front so the runs overlap.
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         runner.submitBaseline(w);
-        SimConfig pmem = bench::baseConfig(opts);
+        SimConfig pmem = baseConfig(opts);
         pmem.perfectMemory = true;
         runner.submit(pmem, w.kernel);
-        SimConfig hwp = bench::baseConfig(opts);
+        SimConfig hwp = baseConfig(opts);
         hwp.hwPref = HwPrefKind::MTHWP;
         runner.submit(hwp, w.kernel);
     }
+
+    FigureResult out;
+    Table t;
+    t.name = "cpi";
+    t.columns = {"bench",   "baseCPI",    "paper.base", "pmemCPI",
+                 "paper.pmem", "hwpCPI", "paper.hwp"};
+    std::vector<double> hwpOverBase;
     for (const auto &name : names) {
         Workload w = Suite::get(name, opts.scaleDiv);
         const RunResult &base = runner.baseline(w);
-        SimConfig pmem = bench::baseConfig(opts);
+        SimConfig pmem = baseConfig(opts);
         pmem.perfectMemory = true;
         const RunResult &perfect = runner.run(pmem, w.kernel);
-        SimConfig hwp = bench::baseConfig(opts);
+        SimConfig hwp = baseConfig(opts);
         hwp.hwPref = HwPrefKind::MTHWP;
         const RunResult &pref = runner.run(hwp, w.kernel);
-        std::printf("%-12s | %8.2f %8.2f | %8.2f %8.2f | %8.2f %8.2f\n",
-                    name.c_str(), base.cpi, w.info.paperBaseCpi,
-                    perfect.cpi, w.info.paperPmemCpi, pref.cpi,
-                    w.info.paperHwpCpi);
+        hwpOverBase.push_back(base.cpi / pref.cpi);
+        t.addRow({Cell::str(name), Cell::number(base.cpi),
+                  Cell::number(w.info.paperBaseCpi),
+                  Cell::number(perfect.cpi),
+                  Cell::number(w.info.paperPmemCpi),
+                  Cell::number(pref.cpi),
+                  Cell::number(w.info.paperHwpCpi)});
     }
-    return 0;
+    out.tables.push_back(std::move(t));
+    out.metric("geomean.hwpSpeedup", geomean(hwpOverBase));
+    out.notes.push_back("non-memory-intensive kernels: prefetching "
+                        "and perfect memory barely move the CPI");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specTab04Nonmem()
+{
+    return {"tab04_nonmem", "Non-memory-intensive benchmark CPIs",
+            "Table IV", &run};
+}
+
+} // namespace bench
+} // namespace mtp

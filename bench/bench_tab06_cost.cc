@@ -5,51 +5,70 @@
  * configuration, compared against the baseline prefetchers' tables.
  */
 
-#include "bench/bench_common.hh"
+#include "bench/harnesses.hh"
 
-int
-main(int argc, char **argv)
+namespace mtp {
+namespace bench {
+namespace {
+
+FigureResult
+run(Runner &runner, const Options &opts)
 {
-    using namespace mtp;
-    auto opts = bench::parseArgs(argc, argv);
-    bench::banner("MT-HWP hardware cost", "Table VI", opts);
-    SimConfig cfg = bench::baseConfig(opts);
+    (void)runner;
+    SimConfig cfg = baseConfig(opts);
 
-    std::printf("\n%-6s %-55s %10s %8s %12s\n", "table", "fields",
-                "bits/entry", "entries", "total bits");
-    std::printf("%-6s %-55s %10u %8u %12llu\n", "PWS",
-                "PC (4B), wid (1B), train (1b), last (4B), stride (20b)",
-                MtHwpPrefetcher::pwsEntryBits, cfg.pwsEntries,
-                static_cast<unsigned long long>(
-                    MtHwpPrefetcher::pwsEntryBits) *
-                    cfg.pwsEntries);
-    std::printf("%-6s %-55s %10u %8u %12llu\n", "GS",
-                "PC (4B), stride (20b)", MtHwpPrefetcher::gsEntryBits,
-                cfg.gsEntries,
-                static_cast<unsigned long long>(
-                    MtHwpPrefetcher::gsEntryBits) *
-                    cfg.gsEntries);
-    std::printf("%-6s %-55s %10u %8u %12llu\n", "IP",
-                "PC (4B), stride (20b), train (1b), 2-wid (2B), "
-                "2-addr (8B)",
-                MtHwpPrefetcher::ipEntryBits, cfg.ipEntries,
-                static_cast<unsigned long long>(
-                    MtHwpPrefetcher::ipEntryBits) *
-                    cfg.ipEntries);
-    std::printf("%-6s %-55s %10s %8s %12llu\n", "total", "", "", "",
-                static_cast<unsigned long long>(
-                    MtHwpPrefetcher::costBits(cfg)));
-    std::printf("\nMT-HWP total storage: %llu bytes (paper: 557 bytes)\n",
-                static_cast<unsigned long long>(
-                    MtHwpPrefetcher::costBytes(cfg)));
+    FigureResult out;
+    Table t;
+    t.name = "mthwp-cost";
+    t.columns = {"table", "fields", "bits/entry", "entries",
+                 "total bits"};
+    auto row = [&](const char *name, const char *fields, unsigned bits,
+                   unsigned entries) {
+        t.addRow({Cell::str(name), Cell::str(fields),
+                  Cell::number(bits, 0), Cell::number(entries, 0),
+                  Cell::number(static_cast<double>(bits) * entries, 0)});
+    };
+    row("PWS", "PC (4B), wid (1B), train (1b), last (4B), stride (20b)",
+        MtHwpPrefetcher::pwsEntryBits, cfg.pwsEntries);
+    row("GS", "PC (4B), stride (20b)", MtHwpPrefetcher::gsEntryBits,
+        cfg.gsEntries);
+    row("IP", "PC (4B), stride (20b), train (1b), 2-wid (2B), 2-addr (8B)",
+        MtHwpPrefetcher::ipEntryBits, cfg.ipEntries);
+    t.addRow({Cell::str("total"), Cell::str(""), Cell::str(""),
+              Cell::str(""),
+              Cell::number(
+                  static_cast<double>(MtHwpPrefetcher::costBits(cfg)),
+                  0)});
+    out.tables.push_back(std::move(t));
 
-    std::printf("\nbaseline table capacities (Table V):\n");
-    std::printf("  Stride RPT: %u entries\n", cfg.strideRptEntries);
-    std::printf("  StridePC:   %u entries\n", cfg.stridePcEntries);
-    std::printf("  Stream:     %u entries\n", cfg.streamEntries);
-    std::printf("  GHB:        %u-entry GHB + %u-entry index table\n",
-                cfg.ghbEntries, cfg.ghbIndexEntries);
-    std::printf("\n# MT-HWP uses 1-2 orders of magnitude fewer entries\n"
-                "# than the baselines it outperforms.\n");
-    return 0;
+    Table b;
+    b.name = "baseline-capacities";
+    b.columns = {"prefetcher", "entries"};
+    b.addRow({Cell::str("Stride RPT"),
+              Cell::number(cfg.strideRptEntries, 0)});
+    b.addRow(
+        {Cell::str("StridePC"), Cell::number(cfg.stridePcEntries, 0)});
+    b.addRow({Cell::str("Stream"), Cell::number(cfg.streamEntries, 0)});
+    b.addRow({Cell::str("GHB"), Cell::number(cfg.ghbEntries, 0)});
+    b.addRow({Cell::str("GHB index"),
+              Cell::number(cfg.ghbIndexEntries, 0)});
+    out.tables.push_back(std::move(b));
+
+    out.metric("mthwp.costBytes",
+               static_cast<double>(MtHwpPrefetcher::costBytes(cfg)));
+    out.metric("mthwp.costBytes.paper", 557.0);
+    out.notes.push_back("MT-HWP uses 1-2 orders of magnitude fewer "
+                        "entries than the baselines it outperforms");
+    return out;
 }
+
+} // namespace
+
+CampaignSpec
+specTab06Cost()
+{
+    return {"tab06_cost", "MT-HWP hardware cost", "Table VI", &run};
+}
+
+} // namespace bench
+} // namespace mtp

@@ -1,0 +1,396 @@
+#include "bench/campaign_diff.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace mtp {
+namespace bench {
+namespace {
+
+/** True when the figure object carries "volatile": true. */
+bool
+isVolatile(const obs::JsonValue &fig)
+{
+    const obs::JsonValue *v = fig.find("volatile");
+    return v && v->kind == obs::JsonValue::Kind::Bool && v->boolean;
+}
+
+std::string
+figureName(const obs::JsonValue &fig)
+{
+    const obs::JsonValue *n = fig.find("name");
+    return n && n->isString() ? n->str : std::string("<unnamed>");
+}
+
+void
+addStructure(std::vector<DiffViolation> &out, std::string path,
+             std::string detail)
+{
+    DiffViolation v;
+    v.kind = DiffViolation::Kind::Structure;
+    v.path = std::move(path);
+    v.detail = std::move(detail);
+    out.push_back(std::move(v));
+}
+
+void
+addText(std::vector<DiffViolation> &out, std::string path,
+        const std::string &golden, const std::string &current)
+{
+    DiffViolation v;
+    v.kind = DiffViolation::Kind::Text;
+    v.path = std::move(path);
+    v.detail = "golden \"" + golden + "\" vs current \"" + current + "\"";
+    out.push_back(std::move(v));
+}
+
+/**
+ * Numeric comparison under the tolerance schema: pass when the
+ * absolute delta is within @p tol.abs OR the relative error is within
+ * the path's relative tolerance.
+ */
+void
+checkNumber(std::vector<DiffViolation> &out, const Tolerances &tol,
+            const std::string &path, double golden, double current)
+{
+    double absDelta = std::fabs(current - golden);
+    double denom = std::fabs(golden);
+    if (denom < 1e-300)
+        denom = 1e-300;
+    double relPct = absDelta / denom * 100.0;
+    double tolRel = tol.relPctFor(path);
+    if (absDelta <= tol.abs || relPct <= tolRel)
+        return;
+    DiffViolation v;
+    v.kind = DiffViolation::Kind::Number;
+    v.path = path;
+    v.golden = golden;
+    v.current = current;
+    v.absDelta = absDelta;
+    v.relPct = relPct;
+    v.tolRelPct = tolRel;
+    v.tolAbs = tol.abs;
+    out.push_back(std::move(v));
+}
+
+/**
+ * Compare two leaf values that the manifest writer may produce for a
+ * cell or metric: number, string, or null (a non-finite number is
+ * serialized as null).
+ */
+void
+checkValue(std::vector<DiffViolation> &out, const Tolerances &tol,
+           const std::string &path, const obs::JsonValue &golden,
+           const obs::JsonValue &current)
+{
+    using Kind = obs::JsonValue::Kind;
+    if (golden.kind == Kind::Null && current.kind == Kind::Null)
+        return;
+    if (golden.kind != current.kind) {
+        addStructure(out, path, "value kind differs (number vs text "
+                                "vs null)");
+        return;
+    }
+    if (golden.isNumber())
+        checkNumber(out, tol, path, golden.number, current.number);
+    else if (golden.isString() && golden.str != current.str)
+        addText(out, path, golden.str, current.str);
+}
+
+void
+diffTable(std::vector<DiffViolation> &out, const Tolerances &tol,
+          const std::string &figPath, const obs::JsonValue &golden,
+          const obs::JsonValue &current)
+{
+    const obs::JsonValue *gname = golden.find("name");
+    std::string path =
+        figPath + "/" + (gname && gname->isString() ? gname->str : "?");
+
+    const obs::JsonValue *gcols = golden.find("columns");
+    const obs::JsonValue *ccols = current.find("columns");
+    if (!gcols || !ccols || !gcols->isArray() || !ccols->isArray()) {
+        addStructure(out, path, "missing columns array");
+        return;
+    }
+    if (gcols->array.size() != ccols->array.size()) {
+        addStructure(out, path,
+                     "column count differs (golden " +
+                         std::to_string(gcols->array.size()) +
+                         " vs current " +
+                         std::to_string(ccols->array.size()) + ")");
+        return;
+    }
+    std::vector<std::string> columns;
+    for (std::size_t i = 0; i < gcols->array.size(); ++i) {
+        const std::string &g = gcols->array[i].str;
+        if (g != ccols->array[i].str) {
+            addStructure(out, path,
+                         "column '" + g + "' vs '" +
+                             ccols->array[i].str + "'");
+            return;
+        }
+        columns.push_back(g);
+    }
+    if (columns.empty()) {
+        addStructure(out, path, "table has no columns");
+        return;
+    }
+
+    const obs::JsonValue *grows = golden.find("rows");
+    const obs::JsonValue *crows = current.find("rows");
+    if (!grows || !crows || !grows->isArray() || !crows->isArray()) {
+        addStructure(out, path, "missing rows array");
+        return;
+    }
+
+    // Rows are objects keyed by column name; identity = the label in
+    // the first column. Sweep tables label rows with a number (warp
+    // count, core count), so numeric labels format as keys too.
+    auto label = [&](const obs::JsonValue &row) -> std::string {
+        const obs::JsonValue *l = row.find(columns[0]);
+        if (l && l->isString())
+            return l->str;
+        if (l && l->isNumber()) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.6g", l->number);
+            return buf;
+        }
+        return "<no-label>";
+    };
+    std::map<std::string, const obs::JsonValue *> curRows;
+    for (const auto &row : crows->array)
+        curRows[label(row)] = &row;
+
+    for (const auto &grow : grows->array) {
+        std::string rl = label(grow);
+        auto it = curRows.find(rl);
+        if (it == curRows.end()) {
+            addStructure(out, path + "/" + rl,
+                         "row missing from current manifest");
+            continue;
+        }
+        for (std::size_t c = 1; c < columns.size(); ++c) {
+            const obs::JsonValue *gv = grow.find(columns[c]);
+            const obs::JsonValue *cv = it->second->find(columns[c]);
+            std::string cell = path + "/" + rl + "/" + columns[c];
+            if (!gv || !cv) {
+                addStructure(out, cell, "cell missing");
+                continue;
+            }
+            checkValue(out, tol, cell, *gv, *cv);
+        }
+        curRows.erase(it);
+    }
+    for (const auto &kv : curRows)
+        addStructure(out, path + "/" + kv.first,
+                     "row not present in golden manifest");
+}
+
+void
+diffFigure(std::vector<DiffViolation> &out, const Tolerances &tol,
+           const obs::JsonValue &golden, const obs::JsonValue &current)
+{
+    std::string fig = figureName(golden);
+
+    const obs::JsonValue *gruns = golden.find("runs");
+    const obs::JsonValue *cruns = current.find("runs");
+    if (gruns && cruns && gruns->isNumber() && cruns->isNumber() &&
+        gruns->number != cruns->number)
+        addStructure(out, fig + "/runs",
+                     "distinct run count differs (golden " +
+                         std::to_string((long long)gruns->number) +
+                         " vs current " +
+                         std::to_string((long long)cruns->number) + ")");
+
+    const obs::JsonValue *gfp = golden.find("fingerprints");
+    const obs::JsonValue *cfp = current.find("fingerprints");
+    if (gfp && cfp && gfp->isArray() && cfp->isArray()) {
+        std::size_t n = gfp->array.size() < cfp->array.size()
+                            ? gfp->array.size()
+                            : cfp->array.size();
+        for (std::size_t i = 0; i < n; ++i)
+            if (gfp->array[i].str != cfp->array[i].str) {
+                addStructure(out,
+                             fig + "/fingerprints[" +
+                                 std::to_string(i) + "]",
+                             "run fingerprint drifted: golden '" +
+                                 gfp->array[i].str + "' vs current '" +
+                                 cfp->array[i].str + "'");
+                break; // one drifted config usually shifts the rest
+            }
+    }
+
+    const obs::JsonValue *gtabs = golden.find("tables");
+    const obs::JsonValue *ctabs = current.find("tables");
+    if (gtabs && ctabs && gtabs->isArray() && ctabs->isArray()) {
+        std::map<std::string, const obs::JsonValue *> cur;
+        for (const auto &t : ctabs->array) {
+            const obs::JsonValue *n = t.find("name");
+            if (n && n->isString())
+                cur[n->str] = &t;
+        }
+        for (const auto &t : gtabs->array) {
+            const obs::JsonValue *n = t.find("name");
+            std::string tn =
+                n && n->isString() ? n->str : std::string("?");
+            auto it = cur.find(tn);
+            if (it == cur.end()) {
+                addStructure(out, fig + "/" + tn,
+                             "table missing from current manifest");
+                continue;
+            }
+            diffTable(out, tol, fig, t, *it->second);
+            cur.erase(it);
+        }
+        for (const auto &kv : cur)
+            addStructure(out, fig + "/" + kv.first,
+                         "table not present in golden manifest");
+    }
+
+    const obs::JsonValue *gsum = golden.find("summary");
+    const obs::JsonValue *csum = current.find("summary");
+    if (gsum && csum && gsum->isObject() && csum->isObject()) {
+        for (const auto &kv : gsum->object) {
+            std::string path = fig + "/summary/" + kv.first;
+            auto it = csum->object.find(kv.first);
+            if (it == csum->object.end()) {
+                addStructure(out, path,
+                             "metric missing from current manifest");
+                continue;
+            }
+            checkValue(out, tol, path, kv.second, it->second);
+        }
+        for (const auto &kv : csum->object)
+            if (!gsum->object.count(kv.first))
+                addStructure(out, fig + "/summary/" + kv.first,
+                             "metric not present in golden manifest");
+    }
+}
+
+} // namespace
+
+double
+Tolerances::relPctFor(const std::string &path) const
+{
+    for (const auto &rule : rules)
+        if (globMatch(rule.pattern, path))
+            return rule.relPct;
+    return relPct;
+}
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative '*'-only glob with backtracking to the last star.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+std::string
+DiffViolation::describe() const
+{
+    if (kind == Kind::Structure)
+        return path + ": " + detail;
+    if (kind == Kind::Text)
+        return path + ": " + detail;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ": golden %.6g vs current %.6g (delta %.3g abs, "
+                  "%.3f%% rel; tolerance %.3f%% rel / %.3g abs)",
+                  golden, current, absDelta, relPct, tolRelPct,
+                  tolAbs);
+    return path + buf;
+}
+
+bool
+diffManifests(const obs::JsonValue &golden,
+              const obs::JsonValue &current, const Tolerances &tol,
+              std::vector<DiffViolation> &out)
+{
+    std::size_t before = out.size();
+
+    const obs::JsonValue *gschema = golden.find("schema");
+    const obs::JsonValue *cschema = current.find("schema");
+    if (!gschema || !gschema->isString() || !cschema ||
+        !cschema->isString())
+        addStructure(out, "schema", "missing schema tag");
+    else if (gschema->str != cschema->str)
+        addText(out, "schema", gschema->str, cschema->str);
+
+    const obs::JsonValue *gfigs = golden.find("figures");
+    const obs::JsonValue *cfigs = current.find("figures");
+    if (!gfigs || !gfigs->isArray() || !cfigs || !cfigs->isArray()) {
+        addStructure(out, "figures", "missing figures array");
+        return out.size() == before;
+    }
+
+    std::map<std::string, const obs::JsonValue *> cur;
+    for (const auto &f : cfigs->array)
+        if (!isVolatile(f))
+            cur[figureName(f)] = &f;
+
+    for (const auto &f : gfigs->array) {
+        if (isVolatile(f))
+            continue; // wall-clock figures are not gateable
+        std::string name = figureName(f);
+        auto it = cur.find(name);
+        if (it == cur.end()) {
+            addStructure(out, name,
+                         "figure missing from current manifest");
+            continue;
+        }
+        diffFigure(out, tol, f, *it->second);
+        cur.erase(it);
+    }
+    for (const auto &kv : cur)
+        addStructure(out, kv.first,
+                     "figure not present in golden manifest");
+
+    return out.size() == before;
+}
+
+bool
+loadManifest(const std::string &path, obs::JsonValue &out,
+             std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    std::string perr;
+    if (!obs::parseJson(text, out, &perr)) {
+        if (error)
+            *error = "'" + path + "': " + perr;
+        return false;
+    }
+    return true;
+}
+
+} // namespace bench
+} // namespace mtp

@@ -33,6 +33,11 @@ Observer::Observer(const ObsConfig &cfg) : cfg_(cfg)
         addSink(std::make_unique<JsonlSink>(stderr),
                 /*forSampler=*/false, /*forTracer=*/true);
     }
+    if (cfg_.forwardSink) {
+        // Borrowed: joins the sampler only, stays out of all_ so
+        // finish() never close()s it (it outlives this run).
+        sampler_.addSink(cfg_.forwardSink);
+    }
 }
 
 Observer::~Observer()

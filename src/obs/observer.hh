@@ -55,6 +55,17 @@ struct ObsConfig
      */
     bool throttleToStderr = false;
 
+    /**
+     * Borrowed sink that additionally receives the sampler stream
+     * (schema + rows). Only meaningful together with samplePeriod.
+     * The Observer never owns or close()s it, and it must be
+     * thread-safe: under the parallel driver many concurrent runs
+     * forward into the same sink (the campaign runner aggregates live
+     * progress this way). Like every ObsConfig field it never enters
+     * the run-cache fingerprint.
+     */
+    EventSink *forwardSink = nullptr;
+
     bool wantsSampling() const { return samplePeriod > 0; }
 
     /** True when any event stream needs a TraceRecorder. */

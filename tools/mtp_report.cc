@@ -13,10 +13,18 @@
  *   mtp-report diff <A.json> <B.json> [--gate <pct>]
  *       regression gate: exit 1 when B's cycles exceed A's by more
  *       than <pct> percent (default 0)
+ *   mtp-report campaign show <BENCH_campaign.json>
+ *       provenance + per-figure summary of a campaign manifest
+ *   mtp-report campaign diff <golden.json> <current.json> [--gate]
+ *       [--tol-rel <pct>] [--tol-abs <v>] [--tol <pattern>=<pct>]...
+ *       figure-drift check against a golden snapshot under the
+ *       per-metric tolerance schema (DESIGN.md §11); --gate makes
+ *       drift exit 1
  *   --jsonl <events.jsonl>   attach a sampled time-series summary
  *
- * Exit status: 0 on success, 1 on a detected regression (diff mode),
- * other nonzero on usage or input errors.
+ * Exit status: 0 on success, 1 on a detected regression (diff mode)
+ * or gated figure drift (campaign diff --gate), other nonzero on
+ * usage or input errors.
  */
 
 #include <algorithm>
@@ -28,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/campaign_diff.hh"
 #include "mtprefetch/mtprefetch.hh"
 #include "sim/cycle_accounting.hh"
 
@@ -372,14 +381,134 @@ printDiff(const Run &a, const Run &b, double gatePct)
                     "in B)\n",
                     only_a, only_b);
 
+    // The plain diff gates exactly one metric — sim.cycles — so a
+    // regression names it with both the absolute and relative excess.
     if (delta > gatePct) {
-        std::printf("REGRESSION: +%.3f%% cycles exceeds the %.3f%% "
-                    "gate\n",
-                    delta, gatePct);
+        std::printf("REGRESSION: sim.cycles %.0f -> %.0f "
+                    "(+%.0f absolute, +%.3f%% relative) exceeds the "
+                    "%.3f%% gate by %.3f points\n",
+                    ca, cb, cb - ca, delta, gatePct, delta - gatePct);
         return 1;
     }
-    std::printf("OK: within the %.3f%% gate\n", gatePct);
+    std::printf("OK: sim.cycles within the %.3f%% gate (%+.3f%%)\n",
+                gatePct, delta);
     return 0;
+}
+
+/** `campaign show`: provenance + per-figure summary of a manifest. */
+void
+campaignShow(const std::string &path)
+{
+    obs::JsonValue doc;
+    std::string error;
+    if (!bench::loadManifest(path, doc, &error))
+        MTP_FATAL(error);
+
+    if (const obs::JsonValue *p = doc.find("provenance")) {
+        auto field = [&](const char *key) -> std::string {
+            const obs::JsonValue *v = p->find(key);
+            if (!v)
+                return "?";
+            if (v->isString())
+                return v->str;
+            if (v->isNumber()) {
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%.0f", v->number);
+                return buf;
+            }
+            return "?";
+        };
+        std::printf("campaign %s\n", path.c_str());
+        std::printf("  git %s on %s, scale 1/%s, throttle period %s\n",
+                    field("gitSha").c_str(), field("host").c_str(),
+                    field("scaleDiv").c_str(),
+                    field("throttlePeriod").c_str());
+    }
+    if (const obs::JsonValue *s = doc.find("session")) {
+        const obs::JsonValue *wall = s->find("wallSeconds");
+        const obs::JsonValue *runs = s->find("runsExecuted");
+        const obs::JsonValue *hits = s->find("cacheHits");
+        const obs::JsonValue *jobs = s->find("jobs");
+        std::printf("  session: %.0f runs (%.0f cache hits) in %.1fs "
+                    "at --jobs %.0f\n",
+                    runs && runs->isNumber() ? runs->number : 0.0,
+                    hits && hits->isNumber() ? hits->number : 0.0,
+                    wall && wall->isNumber() ? wall->number : 0.0,
+                    jobs && jobs->isNumber() ? jobs->number : 0.0);
+    }
+
+    const obs::JsonValue *figs = doc.find("figures");
+    if (!figs || !figs->isArray())
+        MTP_FATAL("'", path, "' has no figures array — was it written "
+                  "by mtp-campaign?");
+    std::printf("\n%-24s %-18s %6s  %s\n", "figure", "anchor", "runs",
+                "summary");
+    for (const auto &f : figs->array) {
+        const obs::JsonValue *name = f.find("name");
+        const obs::JsonValue *anchor = f.find("anchor");
+        const obs::JsonValue *runs = f.find("runs");
+        const obs::JsonValue *vol = f.find("volatile");
+        bool isVol = vol && vol->kind == obs::JsonValue::Kind::Bool &&
+                     vol->boolean;
+        std::string summary;
+        if (isVol) {
+            summary = "(volatile: not gated)";
+        } else if (const obs::JsonValue *s = f.find("summary")) {
+            for (const auto &[metric, value] : s->object) {
+                if (!summary.empty())
+                    summary += ", ";
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%s=%.4g",
+                              metric.c_str(),
+                              value.isNumber() ? value.number : 0.0);
+                summary += buf;
+                if (summary.size() > 120) {
+                    summary += ", ...";
+                    break;
+                }
+            }
+        }
+        std::printf("%-24s %-18s %6.0f  %s\n",
+                    name && name->isString() ? name->str.c_str() : "?",
+                    anchor && anchor->isString() ? anchor->str.c_str()
+                                                 : "?",
+                    runs && runs->isNumber() ? runs->number : 0.0,
+                    summary.c_str());
+    }
+}
+
+/**
+ * `campaign diff`: compare a manifest against a golden snapshot under
+ * the tolerance schema; with gate=true any drift exits 1.
+ */
+int
+campaignDiff(const std::string &goldenPath,
+             const std::string &currentPath,
+             const bench::Tolerances &tol, bool gate)
+{
+    obs::JsonValue golden, current;
+    std::string error;
+    if (!bench::loadManifest(goldenPath, golden, &error))
+        MTP_FATAL(error);
+    if (!bench::loadManifest(currentPath, current, &error))
+        MTP_FATAL(error);
+
+    std::vector<bench::DiffViolation> violations;
+    bool ok = bench::diffManifests(golden, current, tol, violations);
+    if (ok) {
+        std::printf("OK: %s matches %s (tolerance %.3f%% rel / "
+                    "%.3g abs, %zu per-metric rules)\n",
+                    currentPath.c_str(), goldenPath.c_str(), tol.relPct,
+                    tol.abs, tol.rules.size());
+        return 0;
+    }
+    std::printf("DRIFT: %zu metric%s differ%s from the golden "
+                "snapshot:\n",
+                violations.size(), violations.size() == 1 ? "" : "s",
+                violations.size() == 1 ? "s" : "");
+    for (const auto &v : violations)
+        std::printf("  %s\n", v.describe().c_str());
+    return gate ? 1 : 0;
 }
 
 /** Summarize a JSONL events file: counts + mean sampled stall mix. */
@@ -461,9 +590,12 @@ usage(const char *argv0)
         "  show <stats.json>...                stall-breakdown table\n"
         "  compare <baseline.json> <run.json>... speedup + MTAML check\n"
         "  diff <A.json> <B.json> [--gate pct] regression gate (exit 1)\n"
+        "  campaign show <BENCH_campaign.json> manifest summary\n"
+        "  campaign diff <golden> <current> [--gate] [--tol-rel pct]\n"
+        "      [--tol-abs v] [--tol pattern=pct]... figure-drift check\n"
         "  any mode: --jsonl <events.jsonl>    time-series summary\n"
-        "Inputs are mtp-sim artifacts: --stats <f> --json (and "
-        "--events <f>).\n",
+        "Inputs are mtp-sim artifacts (--stats <f> --json, --events "
+        "<f>)\nor mtp-campaign manifests.\n",
         argv0);
 }
 
@@ -480,6 +612,56 @@ main(int argc, char **argv)
     if (mode == "--help" || mode == "-h") {
         usage(argv[0]);
         return 0;
+    }
+    if (mode == "campaign") {
+        // Campaign subcommands parse their own flags: --gate here is
+        // boolean, unlike the plain diff's --gate <pct>.
+        std::string sub = argc > 2 ? argv[2] : "";
+        std::vector<std::string> files;
+        bench::Tolerances tol;
+        bool gate = false;
+        for (int i = 3; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto next = [&](const char *what) -> std::string {
+                if (i + 1 >= argc)
+                    MTP_FATAL(what, " needs an argument");
+                return argv[++i];
+            };
+            if (arg == "--gate") {
+                gate = true;
+            } else if (arg == "--tol-rel") {
+                tol.relPct = std::stod(next("--tol-rel"));
+            } else if (arg == "--tol-abs") {
+                tol.abs = std::stod(next("--tol-abs"));
+            } else if (arg == "--tol") {
+                std::string rule = next("--tol");
+                auto eq = rule.find_last_of('=');
+                if (eq == std::string::npos || eq == 0)
+                    MTP_FATAL("--tol expects <pattern>=<pct>, got '",
+                              rule, "'");
+                tol.rules.push_back(
+                    {rule.substr(0, eq),
+                     std::stod(rule.substr(eq + 1))});
+            } else if (arg == "--help" || arg == "-h") {
+                usage(argv[0]);
+                return 0;
+            } else if (!arg.empty() && arg[0] == '-') {
+                std::fprintf(stderr, "unknown option '%s'\n",
+                             arg.c_str());
+                usage(argv[0]);
+                return 2;
+            } else {
+                files.push_back(arg);
+            }
+        }
+        if (sub == "show" && files.size() == 1) {
+            campaignShow(files[0]);
+            return 0;
+        }
+        if (sub == "diff" && files.size() == 2)
+            return campaignDiff(files[0], files[1], tol, gate);
+        usage(argv[0]);
+        return 2;
     }
     std::vector<std::string> files;
     std::string jsonl;
