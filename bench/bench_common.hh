@@ -174,6 +174,12 @@ class Runner
     /** Runs that have finished executing so far. */
     std::uint64_t executed() const { return exec_.executed(); }
 
+    /** Runs stolen across worker deques (load-imbalance telemetry). */
+    std::uint64_t steals() const { return exec_.steals(); }
+
+    /** Cache entries discarded (always 0; see RunCache::evictions). */
+    std::uint64_t cacheEvictions() const { return cache_.evictions(); }
+
     /**
      * Normalized fingerprint tag of every distinct run submitted, in
      * first-submission order: "<kernel>:<config hash>:<kernel hash>".

@@ -40,7 +40,9 @@
 
 #include <unistd.h>
 
+#include "bench/provenance.hh"
 #include "mtprefetch/mtprefetch.hh"
+#include "obs/host_profiler.hh"
 
 namespace {
 
@@ -77,42 +79,17 @@ kcyclesPerSec(Cycle cycles, double secs)
 }
 
 /**
- * The campaign provenance header, duplicated from bench/campaign.cc
- * because this binary cannot link the bench libraries (see the file
- * comment). Keep the field set in sync with Provenance there.
+ * The campaign provenance header via the shared emitter
+ * (bench/provenance.hh — a library both the instrumented and the
+ * no-obs build of this binary can link, unlike the bench suite).
  */
 std::string
 provenanceJson(unsigned scaleDiv, Cycle throttlePeriod)
 {
-    std::string sha = "unknown";
-    if (std::FILE *p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
-        char buf[64] = {0};
-        if (std::fgets(buf, sizeof(buf), p)) {
-            std::string s(buf);
-            while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
-                s.pop_back();
-            bool hex = s.size() == 40;
-            for (char c : s)
-                hex = hex && ((c >= '0' && c <= '9') ||
-                              (c >= 'a' && c <= 'f'));
-            if (hex)
-                sha = s;
-        }
-        ::pclose(p);
-    }
-    char host[256] = "unknown";
-    ::gethostname(host, sizeof(host) - 1);
-    std::ostringstream os;
-    os << "  \"provenance\": {\n"
-       << "    \"paper\": \"" << obs::jsonEscape(
-              "Many-Thread Aware Prefetching Mechanisms for GPGPU "
-              "Applications (MICRO-43, 2010)")
-       << "\",\n    \"gitSha\": \"" << obs::jsonEscape(sha)
-       << "\",\n    \"host\": \"" << obs::jsonEscape(host)
-       << "\",\n    \"scaleDiv\": " << scaleDiv
-       << ",\n    \"throttlePeriod\": " << throttlePeriod
-       << ",\n    \"overrides\": [],\n    \"benchFilter\": []\n  }";
-    return os.str();
+    std::string out;
+    bench::appendProvenance(
+        out, bench::collectProvenance(scaleDiv, throttlePeriod), 1);
+    return out;
 }
 
 } // namespace
@@ -183,6 +160,7 @@ main(int argc, char **argv)
         minSeconds(reps, [&] { simulate(cfg, w.kernel); });
 
     double enabledSec = 0.0;
+    double hostProfSec = 0.0;
 #if MTP_OBS_ENABLED
     if (!disabledOnly) {
         obs::ObsConfig ocfg;
@@ -191,6 +169,13 @@ main(int argc, char **argv)
         enabledSec =
             minSeconds(reps, [&] { simulate(cfg, w.kernel, ocfg); });
         std::remove(ocfg.chromePath.c_str());
+
+        // Host profiler on, sim observation off: the wall-clock cost
+        // of the DESIGN.md §12 scoped timers alone. Informational —
+        // the asserted gate covers only the disabled path.
+        obs::HostProfiler::enable();
+        hostProfSec = minSeconds(reps, [&] { simulate(cfg, w.kernel); });
+        obs::HostProfiler::disable();
     }
 #endif
 
@@ -209,6 +194,12 @@ main(int argc, char **argv)
                     "+%.1f%%)\n",
                     enabledSec, kcyclesPerSec(warm.cycles, enabledSec),
                     100.0 * (enabledSec / disabledSec - 1.0));
+    if (hostProfSec > 0.0 && !quiet)
+        std::printf("  host profiler:  %8.3f s  (%10.1f kcycles/s, "
+                    "+%.1f%%)\n",
+                    hostProfSec,
+                    kcyclesPerSec(warm.cycles, hostProfSec),
+                    100.0 * (hostProfSec / disabledSec - 1.0));
 
     double noobsSec = 0.0;
     double overheadPct = 0.0;
@@ -269,6 +260,10 @@ main(int argc, char **argv)
            << kcyclesPerSec(warm.cycles, enabledSec)
            << ",\n  \"enabledOverheadPct\": "
            << 100.0 * (enabledSec / disabledSec - 1.0);
+    if (hostProfSec > 0.0)
+        os << ",\n  \"hostProfileSeconds\": " << hostProfSec
+           << ",\n  \"hostProfileOverheadPct\": "
+           << 100.0 * (hostProfSec / disabledSec - 1.0);
     if (compared)
         os << ",\n  \"noobsSeconds\": " << noobsSec
            << ",\n  \"overheadPct\": " << overheadPct

@@ -123,34 +123,8 @@ renderFigure(std::FILE *out, const CampaignSpec &spec,
 Provenance
 collectProvenance(const Options &opts)
 {
-    Provenance p;
-    p.paper = "Many-Thread Aware Prefetching Mechanisms for GPGPU "
-              "Applications (MICRO-43, 2010)";
-    p.gitSha = "unknown";
-    if (std::FILE *git = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
-        char buf[128] = {0};
-        if (std::fgets(buf, sizeof(buf), git)) {
-            std::string sha(buf);
-            while (!sha.empty() &&
-                   (sha.back() == '\n' || sha.back() == '\r'))
-                sha.pop_back();
-            if (sha.size() == 40 &&
-                sha.find_first_not_of("0123456789abcdef") ==
-                    std::string::npos)
-                p.gitSha = sha;
-        }
-        ::pclose(git);
-    }
-    char host[256] = {0};
-    if (::gethostname(host, sizeof(host) - 1) == 0 && host[0])
-        p.host = host;
-    else
-        p.host = "unknown";
-    p.scaleDiv = opts.scaleDiv;
-    p.throttlePeriod = opts.throttlePeriod;
-    p.overrides = opts.overrides;
-    p.benchFilter = opts.benchmarks;
-    return p;
+    return collectProvenance(opts.scaleDiv, opts.throttlePeriod,
+                             opts.overrides, opts.benchmarks);
 }
 
 // --- live progress ------------------------------------------------------
@@ -275,6 +249,13 @@ runCampaign(const Options &opts, const std::vector<std::string> &only,
     res.runsExecuted = runner.cacheMisses();
     res.cacheHits = runner.cacheHits();
     res.cacheMisses = runner.cacheMisses();
+    res.steals = runner.steals();
+    res.cacheEvictions = runner.cacheEvictions();
+    res.executorThreads = runner.jobs();
+    res.runsPerSec = res.wallSeconds > 0.0
+                         ? static_cast<double>(res.runsExecuted) /
+                               res.wallSeconds
+                         : 0.0;
     if (progress)
         progress->finish();
     return res;
@@ -284,37 +265,20 @@ runCampaign(const Options &opts, const std::vector<std::string> &only,
 
 namespace {
 
+// Short local names for the shared emit helpers (bench/provenance.hh).
 void
 appendIndent(std::string &out, int indent)
 {
-    out.append(static_cast<std::size_t>(indent) * 2, ' ');
+    appendJsonIndent(out, indent);
 }
 
 void
 appendString(std::string &out, const std::string &s)
 {
-    out += '"';
-    out += obs::jsonEscape(s);
-    out += '"';
+    appendJsonString(out, s);
 }
 
 } // namespace
-
-void
-appendJsonNumber(std::string &out, double v)
-{
-    if (!std::isfinite(v)) {
-        // JSON has no inf/nan; null keeps the document parseable and
-        // the diff layer treats it as "not comparable".
-        out += "null";
-        return;
-    }
-    // Locale-independent shortest round-trip (same idiom as
-    // StatSet::dumpJson) so manifests never depend on the host locale.
-    std::array<char, 64> buf;
-    auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
-    out.append(buf.data(), res.ptr);
-}
 
 void
 writeJsonValue(std::string &out, const obs::JsonValue &v, int indent)
@@ -515,43 +479,6 @@ appendFigureJson(std::string &out, const CampaignSpec &spec,
 } // namespace
 
 void
-appendProvenance(std::string &out, const Provenance &p, int indent)
-{
-    appendIndent(out, indent);
-    out += "\"provenance\": {\n";
-    appendIndent(out, indent + 1);
-    out += "\"paper\": ";
-    appendString(out, p.paper);
-    out += ",\n";
-    appendIndent(out, indent + 1);
-    out += "\"gitSha\": ";
-    appendString(out, p.gitSha);
-    out += ",\n";
-    appendIndent(out, indent + 1);
-    out += "\"host\": ";
-    appendString(out, p.host);
-    out += ",\n";
-    appendIndent(out, indent + 1);
-    out += "\"scaleDiv\": ";
-    out += std::to_string(p.scaleDiv);
-    out += ",\n";
-    appendIndent(out, indent + 1);
-    out += "\"throttlePeriod\": ";
-    out += std::to_string(p.throttlePeriod);
-    out += ",\n";
-    appendIndent(out, indent + 1);
-    out += "\"overrides\": ";
-    appendStringArray(out, p.overrides, indent + 1);
-    out += ",\n";
-    appendIndent(out, indent + 1);
-    out += "\"benchFilter\": ";
-    appendStringArray(out, p.benchFilter, indent + 1);
-    out += '\n';
-    appendIndent(out, indent);
-    out += '}';
-}
-
-void
 writeManifest(std::ostream &os, const CampaignResult &res,
               bool includeSession)
 {
@@ -582,6 +509,18 @@ writeManifest(std::ostream &os, const CampaignResult &res,
         appendIndent(out, 2);
         out += "\"cacheMisses\": " + std::to_string(res.cacheMisses) +
                ",\n";
+        appendIndent(out, 2);
+        out += "\"cacheEvictions\": " +
+               std::to_string(res.cacheEvictions) + ",\n";
+        appendIndent(out, 2);
+        out += "\"steals\": " + std::to_string(res.steals) + ",\n";
+        appendIndent(out, 2);
+        out += "\"executorThreads\": " +
+               std::to_string(res.executorThreads) + ",\n";
+        appendIndent(out, 2);
+        out += "\"runsPerSec\": ";
+        appendJsonNumber(out, res.runsPerSec);
+        out += ",\n";
         appendIndent(out, 2);
         out += "\"figureWallSeconds\": {";
         std::size_t entries =

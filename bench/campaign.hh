@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "bench/bench_common.hh"
+#include "bench/provenance.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/json.hh"
 
 namespace mtp {
@@ -125,18 +127,7 @@ const CampaignSpec *findSpec(const std::string &name);
 void renderFigure(std::FILE *out, const CampaignSpec &spec,
                   const FigureResult &result);
 
-/** Reproducibility header shared by every campaign-path artifact. */
-struct Provenance
-{
-    std::string paper;
-    std::string gitSha; //!< "unknown" outside a git checkout
-    std::string host;
-    unsigned scaleDiv = 8;
-    Cycle throttlePeriod = 0;
-    std::vector<std::string> overrides;
-    std::vector<std::string> benchFilter;
-};
-
+/** Options overload of bench/provenance.hh's collectProvenance(). */
 Provenance collectProvenance(const Options &opts);
 
 /** One executed figure: its spec, tables, and run identities. */
@@ -172,6 +163,12 @@ struct CampaignResult
     std::uint64_t runsExecuted = 0;
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
+    // Host-side scheduling telemetry (DESIGN.md §12). Session data:
+    // legitimately varies run to run, excluded from the diff gate.
+    std::uint64_t steals = 0;
+    std::uint64_t cacheEvictions = 0;
+    unsigned executorThreads = 0;
+    double runsPerSec = 0.0;
     std::vector<FigureRun> figures;
     std::vector<RawFigure> rawFigures;
 };
@@ -220,6 +217,9 @@ class CampaignProgress : public obs::EventSink
         (void)now;
         (void)values;
         samples_.fetch_add(1, std::memory_order_relaxed);
+        // Campaign heartbeat: every sampler boundary of every live
+        // simulation proves forward progress to the hung-run watchdog.
+        obs::FlightRecorder::beat();
     }
 
   private:
@@ -257,16 +257,10 @@ runCampaign(const Options &opts, const std::vector<std::string> &only,
 void writeManifest(std::ostream &os, const CampaignResult &res,
                    bool includeSession);
 
-/** Re-serialize a parsed JSON value with the campaign formatting. */
+/** Re-serialize a parsed JSON value with the campaign formatting.
+ *  (appendJsonNumber / appendProvenance live in bench/provenance.hh.) */
 void writeJsonValue(std::string &out, const obs::JsonValue &v,
                     int indent);
-
-/** Append one JSON number, locale-independent (std::to_chars). */
-void appendJsonNumber(std::string &out, double v);
-
-/** Append the `"provenance": {...}` member (no trailing comma). */
-void appendProvenance(std::string &out, const Provenance &p,
-                      int indent);
 
 /**
  * Shared main() of the standalone per-figure binaries: parse the

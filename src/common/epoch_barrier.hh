@@ -17,7 +17,11 @@
  * CI runners — make progress instead of burning the coordinator's
  * timeslice. Per-worker slots are cacheline-aligned to keep the
  * arrival stores from false-sharing, and the time each side spends
- * blocked is accounted per slot for the sim.sched.barrier* stats.
+ * blocked is accounted per slot — split into spin time (the bounded
+ * busy-poll) and park time (blocked in the futex) — for the
+ * sim.sched.barrier* stats and the host profiler (DESIGN.md §12):
+ * a high spin fraction means workers arrive almost together (healthy),
+ * a high park fraction means load imbalance or oversubscription.
  */
 
 #ifndef MTP_COMMON_EPOCH_BARRIER_HH
@@ -55,8 +59,11 @@ class EpochBarrier
     awaitAll()
     {
         std::uint64_t gen = epoch_.load(std::memory_order_relaxed);
-        for (Slot &slot : slots_)
-            coordWaitNs_ += waitFor(slot.done, gen);
+        for (Slot &slot : slots_) {
+            WaitNs ns = waitFor(slot.done, gen);
+            coordSpinNs_ += ns.spin;
+            coordParkNs_ += ns.park;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -68,9 +75,11 @@ class EpochBarrier
     awaitCommand(unsigned w)
     {
         Slot &slot = slots_[w];
-        std::uint64_t ns = waitFor(epoch_, slot.seen + 1);
-        if (ns)
-            slot.waitNs.fetch_add(ns, std::memory_order_relaxed);
+        WaitNs ns = waitFor(epoch_, slot.seen + 1);
+        if (ns.spin)
+            slot.spinNs.fetch_add(ns.spin, std::memory_order_relaxed);
+        if (ns.park)
+            slot.parkNs.fetch_add(ns.park, std::memory_order_relaxed);
         ++slot.seen;
         return command_.load(std::memory_order_relaxed);
     }
@@ -85,57 +94,93 @@ class EpochBarrier
     }
 
     // ------------------------------------------------------------------
-    // Wait-time accounting (nanoseconds spent blocked past the spin)
+    // Wait-time accounting (nanoseconds spent blocked past the fast
+    // path, split into bounded spinning vs futex parking)
     // ------------------------------------------------------------------
 
     std::uint64_t
     workerWaitNs(unsigned w) const
     {
-        return slots_[w].waitNs.load(std::memory_order_relaxed);
+        return workerSpinNs(w) + workerParkNs(w);
     }
 
-    std::uint64_t coordinatorWaitNs() const { return coordWaitNs_; }
+    std::uint64_t
+    workerSpinNs(unsigned w) const
+    {
+        return slots_[w].spinNs.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    workerParkNs(unsigned w) const
+    {
+        return slots_[w].parkNs.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t coordinatorWaitNs() const
+    {
+        return coordSpinNs_ + coordParkNs_;
+    }
+
+    std::uint64_t coordinatorSpinNs() const { return coordSpinNs_; }
+    std::uint64_t coordinatorParkNs() const { return coordParkNs_; }
 
   private:
     struct alignas(64) Slot
     {
         /** Generation of the last command this worker completed. */
         std::atomic<std::uint64_t> done {0};
-        /** Nanoseconds this worker spent blocked waiting for commands. */
-        std::atomic<std::uint64_t> waitNs {0};
+        /** Ns this worker spent busy-polling for commands. */
+        std::atomic<std::uint64_t> spinNs {0};
+        /** Ns this worker spent parked in the futex for commands. */
+        std::atomic<std::uint64_t> parkNs {0};
         /** Worker-local: generation of the last command observed. */
         std::uint64_t seen = 0;
     };
 
+    struct WaitNs
+    {
+        std::uint64_t spin = 0;
+        std::uint64_t park = 0;
+    };
+
     /**
      * Wait until @p var >= @p target; returns the nanoseconds spent
-     * waiting (0 when the target was already reached — the common case
-     * pays one acquire load and no clock reads).
+     * spinning and parked ({0,0} when the target was already reached —
+     * the common case pays one acquire load and no clock reads).
      */
-    static std::uint64_t
+    static WaitNs
     waitFor(std::atomic<std::uint64_t> &var, std::uint64_t target)
     {
         if (var.load(std::memory_order_acquire) >= target)
-            return 0;
+            return {};
         auto t0 = std::chrono::steady_clock::now();
         for (int spin = 0; spin < 256; ++spin) {
             if (var.load(std::memory_order_acquire) >= target)
-                return elapsedNs(t0);
+                return {elapsedNs(t0), 0};
         }
+        auto t1 = std::chrono::steady_clock::now();
+        std::uint64_t spinNs = ns(t0, t1);
         for (;;) {
             std::uint64_t cur = var.load(std::memory_order_acquire);
             if (cur >= target)
-                return elapsedNs(t0);
+                return {spinNs, elapsedNs(t1)};
             var.wait(cur, std::memory_order_acquire);
         }
     }
 
     static std::uint64_t
-    elapsedNs(std::chrono::steady_clock::time_point t0)
+    ns(std::chrono::steady_clock::time_point t0,
+       std::chrono::steady_clock::time_point t1)
     {
         return static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - t0).count());
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+    }
+
+    static std::uint64_t
+    elapsedNs(std::chrono::steady_clock::time_point t0)
+    {
+        return ns(t0, std::chrono::steady_clock::now());
     }
 
     /** Bumped once per release(); workers wait for it to pass them. */
@@ -145,7 +190,8 @@ class EpochBarrier
     /** One arrival slot per worker, cacheline-aligned. */
     std::vector<Slot> slots_;
     /** Coordinator-side blocked time across awaitAll() calls. */
-    std::uint64_t coordWaitNs_ = 0;
+    std::uint64_t coordSpinNs_ = 0;
+    std::uint64_t coordParkNs_ = 0;
 };
 
 } // namespace mtp

@@ -1,6 +1,10 @@
 #include "driver/parallel_executor.hh"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/flight_recorder.hh"
+#include "obs/host_profiler.hh"
 
 namespace mtp {
 namespace driver {
@@ -28,6 +32,11 @@ ParallelExecutor::ParallelExecutor(unsigned threads)
     queues_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
         queues_.push_back(std::make_unique<Queue>());
+    // Flight-recorder liveness gauge: queued-but-unstarted tasks.
+    // Distinguish executors (tests build several) by a global seq.
+    static std::atomic<std::uint64_t> execSeq{0};
+    pendingGauge_ = obs::FlightRecorder::acquireGauge(
+        "exec" + std::to_string(execSeq.fetch_add(1)) + ".pending");
     workers_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
@@ -42,6 +51,7 @@ ParallelExecutor::~ParallelExecutor()
     cv_.notify_all();
     for (auto &w : workers_)
         w.join();
+    obs::FlightRecorder::releaseGauge(pendingGauge_);
 }
 
 void
@@ -61,6 +71,7 @@ ParallelExecutor::enqueue(std::function<void()> fn)
     {
         std::lock_guard<std::mutex> lock(sleepMutex_);
         ++pending_;
+        pendingGauge_.set(pending_);
     }
     cv_.notify_one();
 }
@@ -104,17 +115,35 @@ void
 ParallelExecutor::workerLoop(unsigned self)
 {
     workerIndex_ = static_cast<int>(self);
+    // Lazy naming: the profiler is usually enabled after the pool
+    // spins up, so (re)try until a profiling session exists.
+    bool named = false;
     for (;;) {
+        if (!named && obs::HostProfiler::enabled()) {
+            obs::HostProfiler::nameThread(
+                ("exec" + std::to_string(self)).c_str());
+            named = true;
+        }
         std::function<void()> task;
         if (popOwn(self, task) || steal(self, task)) {
             {
                 std::lock_guard<std::mutex> lock(sleepMutex_);
                 --pending_;
+                pendingGauge_.set(pending_);
             }
-            task();
+            {
+                obs::HostScope hostTask(obs::HostPhase::RunTask);
+                task();
+            }
             executed_.fetch_add(1);
+            // One beat per finished task: the watchdog treats a
+            // draining executor as live.
+            obs::FlightRecorder::beat();
             continue;
         }
+        // Park time is wait-class for the host profiler: worker
+        // utilization is (active - wait) / wall.
+        obs::HostScope hostWait(obs::HostPhase::ExecWait);
         std::unique_lock<std::mutex> lock(sleepMutex_);
         // The destructor drains: exit only once nothing is pending.
         if (shutdown_ && pending_ == 0)

@@ -37,6 +37,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/flight_recorder.hh"
+
 namespace mtp {
 namespace driver {
 
@@ -120,6 +122,9 @@ class ParallelExecutor
     std::atomic<std::uint64_t> nextQueue_{0}; //!< external round-robin
     std::atomic<std::uint64_t> executed_{0};
     std::atomic<std::uint64_t> steals_{0};
+
+    /** Flight-recorder liveness gauge mirroring pending_. */
+    obs::FlightRecorder::Gauge pendingGauge_;
 
     // Worker threads look their own index up here.
     static thread_local int workerIndex_;

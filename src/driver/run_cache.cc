@@ -1,5 +1,7 @@
 #include "driver/run_cache.hh"
 
+#include "obs/host_profiler.hh"
+
 namespace mtp {
 namespace driver {
 
@@ -7,6 +9,7 @@ RunCache::Entry &
 RunCache::lookup(const SimConfig &cfg, const KernelDesc &kernel,
                  const obs::ObsConfig &ocfg)
 {
+    obs::HostScope hostLookup(obs::HostPhase::CacheLookup);
     Fingerprint fp = fingerprint(cfg, kernel);
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(fp);
@@ -15,6 +18,9 @@ RunCache::lookup(const SimConfig &cfg, const KernelDesc &kernel,
         return *it->second;
     }
     misses_.fetch_add(1);
+    // Insert time nests inside the lookup span; the profiler's
+    // self-time accounting keeps the two rows disjoint.
+    obs::HostScope hostInsert(obs::HostPhase::CacheInsert);
     auto entry = std::make_unique<Entry>();
     // The job owns copies: the caller's cfg/kernel/ocfg may die before
     // the worker runs. Observation is attached only here, on the miss

@@ -5,12 +5,17 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "obs/host_profiler.hh"
 
 namespace mtp {
 namespace obs {
 
 Observer::Observer(const ObsConfig &cfg) : cfg_(cfg)
 {
+    if (cfg_.hostProfile) {
+        HostProfiler::enable();
+        hostStartNs_ = HostProfiler::nowNs();
+    }
     if (cfg_.wantsTracer())
         tracer_ = std::make_unique<TraceRecorder>(cfg_.wantsLifecycle(),
                                                   true);
@@ -80,6 +85,57 @@ Observer::declareTrack(int pid, const std::string &name)
 }
 
 void
+Observer::recordHostSync(Cycle simCycle)
+{
+    if (!cfg_.hostProfile)
+        return;
+    hostSync_.emplace_back(HostProfiler::nowNs(), simCycle);
+}
+
+void
+Observer::emitHostTracks()
+{
+    HostProfiler::Snapshot snap =
+        HostProfiler::snapshot(/*includeEvents=*/true);
+
+    // Clock-sync track: host.simCycle counter samples place the sim
+    // timeline on the host timeline (both in this run's window).
+    declareTrack(trackHostClock, "host clock sync");
+    for (const auto &[hostNs, cycle] : hostSync_) {
+        if (hostNs < hostStartNs_)
+            continue;
+        TraceEvent ev;
+        ev.name = "host.simCycle";
+        ev.ph = 'C';
+        ev.ts = (hostNs - hostStartNs_) / 1000;
+        ev.pid = trackHostClock;
+        ev.args.emplace_back("cycle", static_cast<double>(cycle));
+        for (auto *sink : all_)
+            sink->event(ev);
+    }
+
+    int index = 0;
+    for (const auto &t : snap.threads) {
+        int pid = trackForHostThread(index++);
+        declareTrack(pid, "host: " + t.name);
+        for (const auto &e : t.events) {
+            // Window to this run: the profiler is process-global and
+            // its rings may hold events from before this observer.
+            if (e.startNs < hostStartNs_)
+                continue;
+            TraceEvent ev;
+            ev.name = toString(e.phase);
+            ev.ph = 'X';
+            ev.ts = (e.startNs - hostStartNs_) / 1000;
+            ev.dur = e.durNs / 1000;
+            ev.pid = pid;
+            for (auto *sink : all_)
+                sink->event(ev);
+        }
+    }
+}
+
+void
 Observer::finish()
 {
     if (finished_)
@@ -87,6 +143,8 @@ Observer::finish()
     finished_ = true;
     if (tracer_)
         tracer_->finish();
+    if (cfg_.hostProfile && !all_.empty())
+        emitHostTracks();
     for (auto *sink : all_)
         sink->close();
 }

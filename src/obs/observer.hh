@@ -66,6 +66,21 @@ struct ObsConfig
      */
     EventSink *forwardSink = nullptr;
 
+    /**
+     * Merge host-profiler tracks (DESIGN.md §12) into this run's
+     * event sinks at finish(): one Perfetto track per host thread
+     * (real microseconds since the run's observer was created) plus a
+     * `host.simCycle` clock-sync counter correlating host time with
+     * the cycle-denominated sim tracks. Enables the process-wide
+     * HostProfiler as a side effect. Like every ObsConfig field it
+     * never enters the run-cache fingerprint and cannot perturb
+     * simulated results. Note the profiler is global: when several
+     * runs trace concurrently, each merged trace carries the host
+     * activity of *all* threads over its own window, so host tracks
+     * are most readable with a single traced run.
+     */
+    bool hostProfile = false;
+
     bool wantsSampling() const { return samplePeriod > 0; }
 
     /** True when any event stream needs a TraceRecorder. */
@@ -89,7 +104,7 @@ struct ObsConfig
     enabled() const
     {
         return wantsSampling() || wantsTracer() ||
-               !timeSeriesCsv.empty();
+               !timeSeriesCsv.empty() || hostProfile;
     }
 };
 
@@ -120,18 +135,28 @@ class Observer
     /** Name a Perfetto track via a process_name metadata event. */
     void declareTrack(int pid, const std::string &name);
 
+    /**
+     * Record a host-time ↔ sim-cycle correlation point (the GPU calls
+     * this at sample boundaries). No-op unless hostProfile is set.
+     * Must be called from the run's coordinating thread only.
+     */
+    void recordHostSync(Cycle simCycle);
+
     /** Flush histograms and close every sink; idempotent. */
     void finish();
 
   private:
     void addSink(std::unique_ptr<EventSink> sink, bool forSampler,
                  bool forTracer);
+    void emitHostTracks();
 
     ObsConfig cfg_;
     std::vector<std::unique_ptr<EventSink>> owned_;
     std::vector<EventSink *> all_;
     Sampler sampler_;
     std::unique_ptr<TraceRecorder> tracer_;
+    std::uint64_t hostStartNs_ = 0;
+    std::vector<std::pair<std::uint64_t, Cycle>> hostSync_;
     bool finished_ = false;
 };
 

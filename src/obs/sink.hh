@@ -39,6 +39,19 @@ constexpr int trackForChannel(unsigned channel)
 }
 constexpr int trackGlobal = 2000;
 
+/**
+ * Host-thread tracks (DESIGN.md §12): one per profiled host thread,
+ * plus a clock-sync track carrying `host.simCycle` counter samples
+ * that correlate the host-time tracks (real microseconds since the
+ * profiling window opened) with the sim tracks (one microsecond per
+ * simulated cycle).
+ */
+constexpr int trackForHostThread(int thread)
+{
+    return 3000 + thread;
+}
+constexpr int trackHostClock = 2999;
+
 /** One discrete trace record (Chrome trace-event phases). */
 struct TraceEvent
 {

@@ -4,7 +4,39 @@
 
 #include "common/log.hh"
 
+#if MTP_OBS_ENABLED
+#include <atomic>
+#include <string>
+
+#include "obs/flight_recorder.hh"
+#include "obs/host_profiler.hh"
+
+// Host-profiler scope against the per-run-loop hoisted `hp` bool: the
+// per-iteration disabled cost is a predicted branch, and the noobs
+// overhead-gate stack compiles the hook out entirely.
+#define MTP_HOST_SCOPE(var, phase) \
+    obs::HostScope var(obs::HostPhase::phase, hp)
+#else
+#define MTP_HOST_SCOPE(var, phase) \
+    do { \
+    } while (0)
+#endif
+
 namespace mtp {
+
+#if MTP_OBS_ENABLED
+namespace {
+
+/** Global run sequence for flight-recorder gauge namespaces. */
+std::uint64_t
+nextHostRunSeq()
+{
+    static std::atomic<std::uint64_t> seq{0};
+    return seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+#endif
 
 Gpu::Gpu(const SimConfig &cfg, const KernelDesc &kernel,
          obs::Observer *obs)
@@ -475,6 +507,10 @@ Gpu::runQueued()
 #if MTP_OBS_ENABLED
     if (obs_)
         queue_.arm(samplerId, obs_->sampler().nextSampleAt());
+    const bool hp = obs::HostProfiler::enabled();
+    hostRunSeq_ = nextHostRunSeq();
+    obs::FlightRecorder::Gauge gCycle = obs::FlightRecorder::acquireGauge(
+        "run" + std::to_string(hostRunSeq_) + ".cycle");
 #endif
     while (!done()) {
         if (now_ >= cfg_.maxCycles)
@@ -504,6 +540,7 @@ Gpu::runQueued()
         // Phase order matches step(): dispatch, cores in ascending id,
         // memory, warp sample, observer sample.
         if (queue_.key(dispatchId) <= t) {
+            MTP_HOST_SCOPE(hostDispatch, Dispatch);
             queue_.notePop();
             // Catch the round-robin origin up with the cycles the
             // dispatcher sat parked (it rotates once per cycle even
@@ -518,34 +555,38 @@ Gpu::runQueued()
             queue_.arm(dispatchId,
                        dispatchPossible() ? t + 1 : invalidCycle);
         }
-        for (CoreId c = 0; c < n; ++c) {
-            if (queue_.key(c) > t)
-                continue;
-            queue_.notePop();
-            Core &core = *cores_[c];
-            // Settle the parked window first: its cycles carry the
-            // same stall attribution a skipTo() would have applied.
-            if (coreSettledTo_[c] < t)
-                core.accountSkip(coreSettledTo_[c], t);
-            bool was_busy = !core.idle();
-            bool had_capacity = core.hasBlockCapacity();
-            ++sched_.coreTicks;
-            core.tick(t);
-            if (was_busy && core.idle()) {
-                MTP_ASSERT(busyCores_ > 0, "busy-core underflow");
-                --busyCores_;
+        {
+            MTP_HOST_SCOPE(hostCores, CoreTick);
+            for (CoreId c = 0; c < n; ++c) {
+                if (queue_.key(c) > t)
+                    continue;
+                queue_.notePop();
+                Core &core = *cores_[c];
+                // Settle the parked window first: its cycles carry the
+                // same stall attribution a skipTo() would have applied.
+                if (coreSettledTo_[c] < t)
+                    core.accountSkip(coreSettledTo_[c], t);
+                bool was_busy = !core.idle();
+                bool had_capacity = core.hasBlockCapacity();
+                ++sched_.coreTicks;
+                core.tick(t);
+                if (was_busy && core.idle()) {
+                    MTP_ASSERT(busyCores_ > 0, "busy-core underflow");
+                    --busyCores_;
+                }
+                coreSettledTo_[c] = t + 1;
+                queue_.arm(c, core.nextEventAt(t + 1));
+                // Freeing an occupancy slot revives the dispatcher.
+                if (!had_capacity && core.hasBlockCapacity() &&
+                    blocksPendingFor(c))
+                    queue_.armEarlier(dispatchId, t + 1);
             }
-            coreSettledTo_[c] = t + 1;
-            queue_.arm(c, core.nextEventAt(t + 1));
-            // Freeing an occupancy slot revives the dispatcher.
-            if (!had_capacity && core.hasBlockCapacity() &&
-                blocksPendingFor(c))
-                queue_.armEarlier(dispatchId, t + 1);
         }
         // Cores run before memory within a cycle, so a request pushed
         // into an MRQ this very cycle is visible to the occupancy
         // check — no wake edge needed for core -> mem.
         if (queue_.key(memId) <= t || mem_->mrqOccupancy() > 0) {
+            MTP_HOST_SCOPE(hostMem, MemTick);
             queue_.notePop();
             mem_->tickQueued(t);
             for (CoreId c : mem_->deliveredCores())
@@ -560,9 +601,14 @@ Gpu::runQueued()
                     ++activeWarpSamples_;
                 }
             }
+#if MTP_OBS_ENABLED
+            obs::FlightRecorder::beat();
+            gCycle.set(t);
+#endif
         }
 #if MTP_OBS_ENABLED
         if (obs_ && queue_.key(samplerId) <= t) {
+            MTP_HOST_SCOPE(hostSample, Sample);
             queue_.notePop();
             // Sample rows read per-core cycle-accounting counters, which
             // this loop attributes lazily; settle every parked core's
@@ -576,22 +622,26 @@ Gpu::runQueued()
                 }
             }
             obs_->sampler().sample(t);
+            obs_->recordHostSync(t);
             queue_.arm(samplerId, obs_->sampler().nextSampleAt());
         }
 #endif
         now_ = t + 1;
         if (done())
             break;
-        // Jump straight to the earliest armed event. Capping at
-        // maxCycles keeps the deadlock diagnostic identical.
-        ++sched_.skipAttempts;
-        Cycle next = queue_.earliest();
-        Cycle target = std::min(next, cfg_.maxCycles);
-        if (target > now_) {
-            bulkWarpSamples(now_, target);
-            sched_.cyclesSkipped += target - now_;
-            ++sched_.skipSuccesses;
-            now_ = target;
+        {
+            MTP_HOST_SCOPE(hostSkip, HorizonSkip);
+            // Jump straight to the earliest armed event. Capping at
+            // maxCycles keeps the deadlock diagnostic identical.
+            ++sched_.skipAttempts;
+            Cycle next = queue_.earliest();
+            Cycle target = std::min(next, cfg_.maxCycles);
+            if (target > now_) {
+                bulkWarpSamples(now_, target);
+                sched_.cyclesSkipped += target - now_;
+                ++sched_.skipSuccesses;
+                now_ = target;
+            }
         }
     }
     // Settle every core's trailing parked window so summarize()'s
@@ -599,6 +649,9 @@ Gpu::runQueued()
     for (CoreId c = 0; c < n; ++c)
         if (coreSettledTo_[c] < now_)
             cores_[c]->accountSkip(coreSettledTo_[c], now_);
+#if MTP_OBS_ENABLED
+    obs::FlightRecorder::releaseGauge(gCycle);
+#endif
 }
 
 namespace {
@@ -663,17 +716,41 @@ Gpu::shardWorker(unsigned s)
 {
     // Workers serve shards 1..S-1; barrier slot ids are 0-based.
     const unsigned slot = s - 1;
+#if MTP_OBS_ENABLED
+    const bool hp = obs::HostProfiler::enabled();
+    if (hp)
+        obs::HostProfiler::nameThread(
+            ("shard" + std::to_string(s)).c_str());
+    // Liveness gauge: the last epoch cycle this shard started work on.
+    obs::FlightRecorder::Gauge gCycle = obs::FlightRecorder::acquireGauge(
+        "run" + std::to_string(hostRunSeq_) + ".shard" +
+        std::to_string(s) + ".cycle");
+#endif
     for (;;) {
-        std::uint64_t cmd = barrier_->awaitCommand(slot);
+        std::uint64_t cmd;
+        {
+            MTP_HOST_SCOPE(hostWait, BarrierWait);
+            cmd = barrier_->awaitCommand(slot);
+        }
         Cycle t = static_cast<Cycle>(cmd >> 2);
+#if MTP_OBS_ENABLED
+        gCycle.set(static_cast<std::uint64_t>(t));
+#endif
         switch (cmd & 3) {
-          case kCmdCoreTick:
+          case kCmdCoreTick: {
+            MTP_HOST_SCOPE(hostCore, CoreTick);
             shardCoreTick(s, t);
             break;
-          case kCmdMemTick:
+          }
+          case kCmdMemTick: {
+            MTP_HOST_SCOPE(hostMem, MemTick);
             shardMemTick(s, t);
             break;
+          }
           default:
+#if MTP_OBS_ENABLED
+            obs::FlightRecorder::releaseGauge(gCycle);
+#endif
             return;
         }
         barrier_->arrive(slot);
@@ -715,6 +792,14 @@ Gpu::runSharded(unsigned numShards)
         for (CoreId c = sh.coreLo; c < sh.coreHi; ++c)
             shardOfCore_[c] = s;
     }
+#if MTP_OBS_ENABLED
+    const bool hp = obs::HostProfiler::enabled();
+    hostRunSeq_ = nextHostRunSeq(); // before workers read it
+    obs::FlightRecorder::Gauge gCycle = obs::FlightRecorder::acquireGauge(
+        "run" + std::to_string(hostRunSeq_) + ".cycle");
+    obs::FlightRecorder::Gauge gEpoch = obs::FlightRecorder::acquireGauge(
+        "run" + std::to_string(hostRunSeq_) + ".epoch");
+#endif
     barrier_ = std::make_unique<EpochBarrier>(S - 1);
     workers_.clear();
     workers_.reserve(S - 1);
@@ -751,6 +836,7 @@ Gpu::runSharded(unsigned numShards)
         // Dispatch stays serial (one shared grid cursor set); it arms
         // dispatched cores on their owning shard's queue.
         if (queue_.key(dispatchId) <= t) {
+            MTP_HOST_SCOPE(hostDispatch, Dispatch);
             queue_.notePop();
             if (!cfg_.dispatchContiguous && t > rrSyncedAt_)
                 rrStartCore_ = static_cast<unsigned>(
@@ -765,9 +851,15 @@ Gpu::runSharded(unsigned numShards)
                        dispatchPossible() ? t + 1 : invalidCycle);
         }
         // Core phase: every shard in parallel, coordinator as shard 0.
-        barrier_->release(encodeCmd(t, kCmdCoreTick));
-        shardCoreTick(0, t);
-        barrier_->awaitAll();
+        {
+            MTP_HOST_SCOPE(hostCores, CoreTick);
+            barrier_->release(encodeCmd(t, kCmdCoreTick));
+            shardCoreTick(0, t);
+            {
+                MTP_HOST_SCOPE(hostWait, BarrierWait);
+                barrier_->awaitAll();
+            }
+        }
         for (ShardState &sh : shards_) {
             MTP_ASSERT(busyCores_ >= sh.busyDelta, "busy-core underflow");
             busyCores_ -= sh.busyDelta;
@@ -780,10 +872,19 @@ Gpu::runSharded(unsigned numShards)
         if (queue_.key(memId) <= t || mem_->mrqOccupancy() > 0 ||
             mem_->hasDeferredUpgrades()) {
             queue_.notePop();
-            barrier_->release(encodeCmd(t, kCmdMemTick));
-            shardMemTick(0, t);
-            barrier_->awaitAll();
-            mem_->finishShardedTick(t);
+            {
+                MTP_HOST_SCOPE(hostMem, MemTick);
+                barrier_->release(encodeCmd(t, kCmdMemTick));
+                shardMemTick(0, t);
+                {
+                    MTP_HOST_SCOPE(hostWait, BarrierWait);
+                    barrier_->awaitAll();
+                }
+            }
+            {
+                MTP_HOST_SCOPE(hostDrain, MailboxDrain);
+                mem_->finishShardedTick(t);
+            }
             for (CoreId c : mem_->deliveredCores()) {
                 ShardState &sh = shards_[shardOfCore_[c]];
                 sh.queue.armEarlier(c - sh.coreLo, t + 1);
@@ -801,6 +902,7 @@ Gpu::runSharded(unsigned numShards)
         }
 #if MTP_OBS_ENABLED
         if (obs_ && queue_.key(samplerId) <= t) {
+            MTP_HOST_SCOPE(hostSample, Sample);
             queue_.notePop();
             for (CoreId c = 0; c < n; ++c) {
                 if (coreSettledTo_[c] <= t) {
@@ -809,12 +911,14 @@ Gpu::runSharded(unsigned numShards)
                 }
             }
             obs_->sampler().sample(t);
+            obs_->recordHostSync(t);
             queue_.arm(samplerId, obs_->sampler().nextSampleAt());
         }
 #endif
         now_ = t + 1;
         bool finished = done();
         if (!finished) {
+            MTP_HOST_SCOPE(hostSkip, HorizonSkip);
             // Jump to the joint cross-shard horizon: the earliest
             // armed cycle over the coordinator queue and every shard
             // queue. No component of any shard can act before it, so
@@ -836,6 +940,14 @@ Gpu::runSharded(unsigned numShards)
         epochCycleSum_ += len;
         if (len > epochCycleMax_)
             epochCycleMax_ = len;
+#if MTP_OBS_ENABLED
+        // Liveness: one beat per epoch — a hung epoch (a worker stuck
+        // in a phase, a lost wakeup) freezes the beat counter and the
+        // watchdog dumps these gauges.
+        obs::FlightRecorder::beat();
+        gCycle.set(static_cast<std::uint64_t>(now_));
+        gEpoch.set(epochCount_);
+#endif
         if (finished)
             break;
     }
@@ -847,11 +959,18 @@ Gpu::runSharded(unsigned numShards)
     for (CoreId c = 0; c < n; ++c)
         if (coreSettledTo_[c] < now_)
             cores_[c]->accountSkip(coreSettledTo_[c], now_);
+#if MTP_OBS_ENABLED
+    obs::FlightRecorder::releaseGauge(gCycle);
+    obs::FlightRecorder::releaseGauge(gEpoch);
+#endif
 }
 
 RunResult
 Gpu::summarize() const
 {
+#if MTP_OBS_ENABLED
+    obs::HostScope hostScope(obs::HostPhase::Summarize);
+#endif
     RunResult r;
     r.cycles = now_;
     std::uint64_t demand_count = 0;
@@ -971,12 +1090,30 @@ Gpu::summarize() const
         r.sched.add("sim.sched.barrierWaitNs.coordinator",
                     static_cast<double>(barrier_->coordinatorWaitNs()),
                     "coordinator ns blocked awaiting shard arrivals");
+        // Spin vs futex-park split (DESIGN.md §12): mostly-spin means
+        // shards arrive nearly together; mostly-park means imbalance
+        // or an oversubscribed host.
+        r.sched.add("sim.sched.barrierSpinNs.coordinator",
+                    static_cast<double>(barrier_->coordinatorSpinNs()),
+                    "coordinator barrier ns spent busy-polling");
+        r.sched.add("sim.sched.barrierParkNs.coordinator",
+                    static_cast<double>(barrier_->coordinatorParkNs()),
+                    "coordinator barrier ns spent futex-parked");
+        std::uint64_t spin = 0, park = 0;
         for (unsigned w = 0; w < barrier_->workers(); ++w) {
             r.sched.add("sim.sched.barrierWaitNs.shard" +
                             std::to_string(w + 1),
                         static_cast<double>(barrier_->workerWaitNs(w)),
                         "shard ns blocked awaiting epoch commands");
+            spin += barrier_->workerSpinNs(w);
+            park += barrier_->workerParkNs(w);
         }
+        r.sched.add("sim.sched.barrierSpinNs.workers",
+                    static_cast<double>(spin),
+                    "all-shard barrier ns spent busy-polling");
+        r.sched.add("sim.sched.barrierParkNs.workers",
+                    static_cast<double>(park),
+                    "all-shard barrier ns spent futex-parked");
     }
     return r;
 }

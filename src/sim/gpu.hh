@@ -291,6 +291,14 @@ class Gpu
 
     obs::Observer *obs_ = nullptr;
     std::unique_ptr<obs::Observer> ownedObs_; //!< env-alias fallback
+
+    /**
+     * Flight-recorder namespace for this run's liveness gauges
+     * ("run<seq>.cycle" etc., DESIGN.md §12); assigned from a global
+     * sequence at the start of each run loop so concurrent runs never
+     * collide. Diagnostic only — never read by the simulation.
+     */
+    std::uint64_t hostRunSeq_ = 0;
 };
 
 /** Convenience: construct, run, summarize. */

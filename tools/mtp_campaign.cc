@@ -46,6 +46,8 @@
 
 #include "bench/campaign.hh"
 #include "bench/campaign_diff.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/host_profiler.hh"
 
 namespace {
 
@@ -196,6 +198,9 @@ main(int argc, char **argv)
     bool skipVolatile = false;
     bool noSession = false;
     bool smoke = false;
+    bool hostProfile = false;
+    std::string hostProfileOut;
+    double watchdogSec = 0.0;
 
     std::vector<FlagSpec> extra = {
         {"--out", true, [&](const std::string &v) { out = v; }},
@@ -214,11 +219,22 @@ main(int argc, char **argv)
         {"--no-session", false,
          [&](const std::string &) { noSession = true; }},
         {"--smoke", false, [&](const std::string &) { smoke = true; }},
+        {"--host-profile", false,
+         [&](const std::string &) { hostProfile = true; }},
+        {"--host-profile-out", true,
+         [&](const std::string &v) {
+             hostProfile = true;
+             hostProfileOut = v;
+         }},
+        {"--watchdog-sec", true,
+         [&](const std::string &v) { watchdogSec = std::stod(v); }},
     };
     Options opts = parseArgs(
         argc, argv, extra,
         "[--out FILE] [--only a,b] [--list] [--smoke] "
-        "[--skip-volatile] [--bench-dir DIR] [--no-session]");
+        "[--skip-volatile] [--bench-dir DIR] [--no-session] "
+        "[--host-profile] [--host-profile-out FILE] "
+        "[--watchdog-sec N]");
 
     if (list) {
         for (const auto &spec : campaignSpecs())
@@ -243,6 +259,25 @@ main(int argc, char **argv)
     }
     if (benchDir.empty())
         benchDir = dirnameOf(argv[0]) + "/../bench";
+
+    // Host observability (DESIGN.md §12): the profiler window opens
+    // before the Runner spawns its executor so worker threads name
+    // themselves; the watchdog's heartbeat comes from executor tasks
+    // and every simulation's sampler boundaries (CampaignProgress).
+    if (hostProfile) {
+        obs::HostProfiler::enable();
+        obs::HostProfiler::nameThread("main");
+        if (hostProfileOut.empty())
+            hostProfileOut = out + ".host.jsonl";
+    }
+    if (watchdogSec < 0.0 || watchdogSec != watchdogSec)
+        MTP_FATAL("--watchdog-sec must be > 0");
+    std::unique_ptr<obs::Watchdog> watchdog;
+    if (watchdogSec > 0.0) {
+        obs::FlightRecorder::installCrashHandler();
+        watchdog = std::make_unique<obs::Watchdog>(watchdogSec,
+                                                   hostProfileOut);
+    }
 
     CampaignProgress progress;
     std::unique_ptr<Ticker> ticker;
@@ -286,6 +321,30 @@ main(int argc, char **argv)
                           .count();
 
     ticker.reset(); // clear the status line before the summary
+
+    if (hostProfile) {
+        obs::HostProfiler::Snapshot snap =
+            obs::HostProfiler::snapshot();
+        std::vector<std::pair<std::string, double>> counters = {
+            {"host.cache.hits", static_cast<double>(res.cacheHits)},
+            {"host.cache.misses",
+             static_cast<double>(res.cacheMisses)},
+            {"host.cache.evictions",
+             static_cast<double>(res.cacheEvictions)},
+            {"host.exec.threads",
+             static_cast<double>(res.executorThreads)},
+            {"host.exec.steals", static_cast<double>(res.steals)},
+            {"host.wallSeconds", res.wallSeconds},
+            {"host.runsPerSec", res.runsPerSec},
+        };
+        std::FILE *f = std::fopen(hostProfileOut.c_str(), "w");
+        if (!f)
+            MTP_FATAL("cannot write '", hostProfileOut, "'");
+        obs::writeHostProfileJsonl(f, snap, counters);
+        std::fclose(f);
+        std::printf("wrote %s (mtp-report host renders it)\n",
+                    hostProfileOut.c_str());
+    }
 
     std::ofstream os(out, std::ios::binary);
     if (!os)

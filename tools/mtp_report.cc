@@ -20,6 +20,10 @@
  *       figure-drift check against a golden snapshot under the
  *       per-metric tolerance schema (DESIGN.md §11); --gate makes
  *       drift exit 1
+ *   mtp-report host <host.jsonl>
+ *       host-profiler report (DESIGN.md §12): per-worker busy/wait/
+ *       idle fractions of the profiling window plus a self-time phase
+ *       table, from the JSONL written by --host-profile
  *   --jsonl <events.jsonl>   attach a sampled time-series summary
  *
  * Exit status: 0 on success, 1 on a detected regression (diff mode)
@@ -582,6 +586,131 @@ summarizeJsonl(const std::string &path)
     std::printf(any ? "\n" : " (no cycle-accounting columns sampled)\n");
 }
 
+/**
+ * `host`: render a host-profile JSONL artifact (mtp-sim/mtp-campaign
+ * --host-profile, DESIGN.md §12) as per-worker utilization and a
+ * phase table. Per thread over the profiling window W:
+ * busy = active - wait, wait = wait, idle = W - active — the three
+ * fractions sum to 100% (up to scopes still open at snapshot time).
+ */
+void
+reportHost(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        MTP_FATAL("cannot read '", path, "'");
+
+    struct HostThread
+    {
+        std::string name;
+        double activeNs = 0.0;
+        double waitNs = 0.0;
+        std::vector<std::pair<std::string, double>> phases; //!< self ns
+    };
+    double wallNs = 0.0;
+    std::vector<HostThread> threads;
+    std::vector<std::pair<std::string, double>> counters;
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        obs::JsonValue doc;
+        std::string error;
+        if (!obs::parseJson(line, doc, &error))
+            MTP_FATAL("'", path, "': invalid JSONL line: ", error);
+        const obs::JsonValue *type = doc.find("type");
+        if (!type || !type->isString())
+            continue;
+        if (type->str == "host.meta") {
+            if (const obs::JsonValue *w = doc.find("wallNs"))
+                wallNs = w->number;
+        } else if (type->str == "host.thread") {
+            HostThread t;
+            if (const obs::JsonValue *n = doc.find("name"))
+                t.name = n->isString() ? n->str : "?";
+            if (const obs::JsonValue *a = doc.find("activeNs"))
+                t.activeNs = a->number;
+            if (const obs::JsonValue *w = doc.find("waitNs"))
+                t.waitNs = w->number;
+            if (const obs::JsonValue *p = doc.find("phases")) {
+                for (const auto &[phase, v] : p->object) {
+                    const obs::JsonValue *ns = v.find("ns");
+                    if (ns && ns->isNumber())
+                        t.phases.emplace_back(phase, ns->number);
+                }
+            }
+            threads.push_back(std::move(t));
+        } else if (type->str == "host.counter") {
+            const obs::JsonValue *n = doc.find("name");
+            const obs::JsonValue *v = doc.find("value");
+            if (n && n->isString() && v && v->isNumber())
+                counters.emplace_back(n->str, v->number);
+        }
+    }
+    if (wallNs <= 0.0 || threads.empty())
+        MTP_FATAL("'", path, "' has no host.meta/host.thread records — "
+                  "was it written by --host-profile?");
+
+    std::printf("host profile %s: %.3f s wall, %zu threads\n\n",
+                path.c_str(), wallNs / 1e9, threads.size());
+    std::printf("%-10s %6s %6s %6s %9s  %s\n", "thread", "busy%",
+                "wait%", "idle%", "busy s", "top phases (self time)");
+    for (const auto &t : threads) {
+        double busy = t.activeNs > t.waitNs ? t.activeNs - t.waitNs : 0.0;
+        double idle = wallNs > t.activeNs ? wallNs - t.activeNs : 0.0;
+        auto pct = [&](double ns) { return 100.0 * ns / wallNs; };
+        // Top three phases by self time, wait-class included (they
+        // show up in wait%, not busy%, but are still "where the time
+        // went" for this thread).
+        std::vector<std::pair<std::string, double>> top = t.phases;
+        std::sort(top.begin(), top.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+        std::string detail;
+        for (std::size_t i = 0; i < top.size() && i < 3; ++i) {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%s%s %.1f%%",
+                          i ? ", " : "", top[i].first.c_str(),
+                          t.activeNs > 0
+                              ? 100.0 * top[i].second / t.activeNs
+                              : 0.0);
+            detail += buf;
+        }
+        std::printf("%-10s %5.1f%% %5.1f%% %5.1f%% %9.3f  %s\n",
+                    t.name.c_str(), pct(busy), pct(t.waitNs), pct(idle),
+                    busy / 1e9, detail.c_str());
+    }
+
+    // Aggregate phase table: self time summed over threads. The busy
+    // total equals sum(active - wait) by the §12 accounting identity.
+    std::map<std::string, double> phaseTotals;
+    double activeTotal = 0.0;
+    for (const auto &t : threads) {
+        activeTotal += t.activeNs;
+        for (const auto &[phase, ns] : t.phases)
+            phaseTotals[phase] += ns;
+    }
+    std::vector<std::pair<std::string, double>> rows(phaseTotals.begin(),
+                                                     phaseTotals.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    std::printf("\n%-16s %12s %7s\n", "phase (all thr)", "self ms",
+                "active%");
+    for (const auto &[phase, ns] : rows)
+        std::printf("%-16s %12.3f %6.1f%%\n", phase.c_str(), ns / 1e6,
+                    activeTotal > 0 ? 100.0 * ns / activeTotal : 0.0);
+
+    if (!counters.empty()) {
+        std::printf("\n%-24s %s\n", "counter", "value");
+        for (const auto &[name, value] : counters)
+            std::printf("%-24s %.6g\n", name.c_str(), value);
+    }
+}
+
 void
 usage(const char *argv0)
 {
@@ -593,6 +722,9 @@ usage(const char *argv0)
         "  campaign show <BENCH_campaign.json> manifest summary\n"
         "  campaign diff <golden> <current> [--gate] [--tol-rel pct]\n"
         "      [--tol-abs v] [--tol pattern=pct]... figure-drift check\n"
+        "  host <host.jsonl>                   host-profiler report\n"
+        "      (per-worker busy/wait/idle, phase table; written by\n"
+        "       mtp-sim/mtp-campaign --host-profile, DESIGN.md §12)\n"
         "  any mode: --jsonl <events.jsonl>    time-series summary\n"
         "Inputs are mtp-sim artifacts (--stats <f> --json, --events "
         "<f>)\nor mtp-campaign manifests.\n",
@@ -717,6 +849,12 @@ main(int argc, char **argv)
         }
         status = printDiff(loadStats(files[0]), loadStats(files[1]),
                            gate);
+    } else if (mode == "host") {
+        if (files.size() != 1) {
+            usage(argv[0]);
+            return 2;
+        }
+        reportHost(files[0]);
     } else {
         std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
         usage(argv[0]);

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "mtprefetch/mtprefetch.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/host_profiler.hh"
 #include "trace/kernel_io.hh"
 
 namespace {
@@ -56,6 +58,12 @@ usage(const char *argv0)
         "  --events <file>        write lifecycle/throttle events as JSONL\n"
         "  --trace-out <file>     write a Chrome trace-event JSON file\n"
         "                         (open in Perfetto / chrome://tracing)\n"
+        "  --host-profile [file]  profile host threads (wall-clock per\n"
+        "                         engine phase, DESIGN.md §12); merged\n"
+        "                         into --trace-out, JSONL to [file]\n"
+        "  --watchdog-sec <N>     dump flight-recorder state and abort\n"
+        "                         diagnosis to stderr if the process\n"
+        "                         makes no progress for N seconds\n"
         "  --dump-kernel <file>   write the (transformed) kernel and exit\n"
         "  --quiet                suppress the summary (stats only)\n"
         "  key=value              override any SimConfig field\n"
@@ -80,6 +88,9 @@ main(int argc, char **argv)
     bool csv = false;
     bool json = false;
     bool quiet = false;
+    bool hostProfile = false;
+    std::string hostProfileOut;
+    double watchdogSec = 0.0;
     unsigned scale = 8;
     unsigned jobs = 0; // 0 = all cores
     SimConfig cfg;
@@ -145,6 +156,17 @@ main(int argc, char **argv)
             ocfg.jsonlPath = next("--events");
         } else if (arg == "--trace-out") {
             ocfg.chromePath = next("--trace-out");
+        } else if (arg == "--host-profile") {
+            hostProfile = true;
+            // Optional output path: consume the next token unless it
+            // is another flag or a key=value override.
+            if (i + 1 < argc && argv[i + 1][0] != '-' &&
+                std::string(argv[i + 1]).find('=') == std::string::npos)
+                hostProfileOut = argv[++i];
+        } else if (arg == "--watchdog-sec") {
+            watchdogSec = std::stod(next("--watchdog-sec"));
+            if (watchdogSec <= 0.0)
+                MTP_FATAL("--watchdog-sec must be > 0");
         } else if (arg == "--dump-kernel") {
             dump_kernel = next("--dump-kernel");
         } else if (arg == "--quiet") {
@@ -175,27 +197,45 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Host observability (DESIGN.md §12): the profiler window opens
+    // before kernel assembly so build time is attributed too; the
+    // watchdog and crash handler cover the whole run.
+    ocfg.hostProfile = hostProfile;
+    if (hostProfile) {
+        obs::HostProfiler::enable();
+        obs::HostProfiler::nameThread("main");
+    }
+    std::unique_ptr<obs::Watchdog> watchdog;
+    if (watchdogSec > 0.0) {
+        obs::FlightRecorder::installCrashHandler();
+        watchdog = std::make_unique<obs::Watchdog>(watchdogSec,
+                                                   hostProfileOut);
+    }
+
     // Assemble the run matrix: every benchmark named by --bench (or
     // the one --kernel file), each with the requested SW transform.
     std::vector<KernelDesc> kernels;
-    if (!benches.empty()) {
-        for (const auto &bench : benches) {
-            if (!Suite::has(bench)) {
-                std::fprintf(stderr, "unknown benchmark '%s'\n",
-                             bench.c_str());
-                return 1;
+    {
+        obs::HostScope kernelBuild(obs::HostPhase::KernelBuild);
+        if (!benches.empty()) {
+            for (const auto &bench : benches) {
+                if (!Suite::has(bench)) {
+                    std::fprintf(stderr, "unknown benchmark '%s'\n",
+                                 bench.c_str());
+                    return 1;
+                }
+                Workload w = Suite::get(bench, scale);
+                KernelDesc kernel = w.kernel;
+                if (sw != SwPrefKind::None)
+                    kernel = applySwPrefetch(kernel, sw, w.info.swpOpts);
+                kernels.push_back(std::move(kernel));
             }
-            Workload w = Suite::get(bench, scale);
-            KernelDesc kernel = w.kernel;
+        } else {
+            KernelDesc kernel = readKernelFile(kernel_file);
             if (sw != SwPrefKind::None)
-                kernel = applySwPrefetch(kernel, sw, w.info.swpOpts);
+                kernel = applySwPrefetch(kernel, sw, SwPrefetchOptions{});
             kernels.push_back(std::move(kernel));
         }
-    } else {
-        KernelDesc kernel = readKernelFile(kernel_file);
-        if (sw != SwPrefKind::None)
-            kernel = applySwPrefetch(kernel, sw, SwPrefetchOptions{});
-        kernels.push_back(std::move(kernel));
     }
 
     if (!dump_kernel.empty()) {
@@ -293,10 +333,31 @@ main(int argc, char **argv)
             if (!out)
                 MTP_FATAL("cannot write '", stats_file, "'");
             // Simulation stats plus the host-side scheduler counters
-            // (sim.sched.*, kept separate in RunResult so bit-identity
-            // comparisons never see them).
+            // (sim.sched.* and host.*, kept separate in RunResult so
+            // bit-identity comparisons never see them).
             StatSet full = r.stats;
             full.merge(r.sched, "");
+            full.add("host.cache.hits",
+                     static_cast<double>(cache.hits()),
+                     "run-cache submissions served from an entry");
+            full.add("host.cache.misses",
+                     static_cast<double>(cache.misses()),
+                     "distinct runs scheduled");
+            full.add("host.cache.evictions",
+                     static_cast<double>(cache.evictions()),
+                     "entries discarded (0 by contract)");
+            full.add("host.cache.entries",
+                     static_cast<double>(cache.size()),
+                     "distinct entries resident");
+            full.add("host.exec.threads",
+                     static_cast<double>(exec.threads()),
+                     "executor worker threads");
+            full.add("host.exec.executed",
+                     static_cast<double>(exec.executed()),
+                     "tasks finished so far");
+            full.add("host.exec.steals",
+                     static_cast<double>(exec.steals()),
+                     "tasks stolen across worker deques");
             if (csv)
                 full.dumpCsv(out);
             else if (json)
@@ -317,6 +378,37 @@ main(int argc, char **argv)
             if (!o.chromePath.empty())
                 std::printf("trace       %s\n", o.chromePath.c_str());
         }
+    }
+
+    if (hostProfile && !hostProfileOut.empty()) {
+        obs::HostProfiler::Snapshot snap =
+            obs::HostProfiler::snapshot();
+        double wallSec =
+            static_cast<double>(snap.takenAtNs - snap.enabledAtNs) /
+            1e9;
+        std::vector<std::pair<std::string, double>> counters = {
+            {"host.cache.hits", static_cast<double>(cache.hits())},
+            {"host.cache.misses", static_cast<double>(cache.misses())},
+            {"host.cache.evictions",
+             static_cast<double>(cache.evictions())},
+            {"host.cache.entries", static_cast<double>(cache.size())},
+            {"host.exec.threads", static_cast<double>(exec.threads())},
+            {"host.exec.executed", static_cast<double>(exec.executed())},
+            {"host.exec.steals", static_cast<double>(exec.steals())},
+            {"host.wallSeconds", wallSec},
+            {"host.runsPerSec",
+             wallSec > 0.0
+                 ? static_cast<double>(exec.executed()) / wallSec
+                 : 0.0},
+        };
+        std::FILE *f = std::fopen(hostProfileOut.c_str(), "w");
+        if (!f)
+            MTP_FATAL("cannot write '", hostProfileOut, "'");
+        obs::writeHostProfileJsonl(f, snap, counters);
+        std::fclose(f);
+        if (!quiet)
+            std::printf("host        %s (mtp-report host renders it)\n",
+                        hostProfileOut.c_str());
     }
     return 0;
 }
